@@ -1,0 +1,26 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one figure of the paper on the simulated
+device and asserts its qualitative shape. Dataset scale defaults to a
+fraction of the registered sizes so the whole suite runs in minutes;
+set ``REPRO_SCALE`` (e.g. ``REPRO_SCALE=1.0``) for full-scale runs.
+
+Benchmarked wall-clock time measures the *simulator* (regression
+tracking for this repository); the scientific outputs are the modeled
+GPU times printed in each benchmark's table.
+"""
+
+import os
+
+import pytest
+
+#: default dataset scale for benchmark runs
+DEFAULT_SCALE = 0.15
+
+
+@pytest.fixture(scope="session")
+def scale():
+    try:
+        return float(os.environ.get("REPRO_SCALE", DEFAULT_SCALE))
+    except ValueError:
+        return DEFAULT_SCALE

@@ -1,0 +1,33 @@
+"""Benchmark: §8 — approximate-search extensions."""
+
+from repro.experiments import approx_ablation
+from repro.experiments.harness import format_table
+
+
+def test_elide_sphere_test(benchmark, scale):
+    out = benchmark.pedantic(
+        lambda: approx_ablation.run_elide_sphere_test(scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n§8a — sphere test elided (range search)")
+    print(format_table([out]))
+    # The sqrt(3)r error bound holds and the approximation is faster.
+    assert out["bound_holds"]
+    assert out["speedup"] > 1.0
+    assert out["max_dist_over_r"] <= 3.0**0.5 + 1e-9
+
+
+def test_shrunk_aabb(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: approx_ablation.run_shrunk_aabb(scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n§8b — shrunk-AABB approximate KNN (recall vs speed)")
+    print(format_table(rows))
+    recalls = [r["recall"] for r in rows]
+    # Recall degrades monotonically with shrink while speed improves.
+    assert all(a >= b - 1e-9 for a, b in zip(recalls, recalls[1:]))
+    assert rows[0]["recall"] > 0.9
+    assert rows[-1]["modeled_ms"] < rows[0]["modeled_ms"] * 1.05

@@ -1,0 +1,45 @@
+"""Benchmark: ablations of this implementation's design choices."""
+
+from repro.experiments import design_ablations
+from repro.experiments.harness import format_table
+
+
+def test_leaf_size(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: design_ablations.run_leaf_size(scale=scale), rounds=1, iterations=1
+    )
+    print("\nleaf_size ablation (KNN, KITTI-12M)")
+    print(format_table(rows))
+    # IS calls are invariant to leaf width (per-prim AABB gating)...
+    calls = {r["is_calls"] for r in rows}
+    assert len(calls) == 1
+    # ...while node pops strictly decrease with wider leaves.
+    steps = [r["traversal_steps"] for r in rows]
+    assert all(b < a for a, b in zip(steps, steps[1:]))
+
+
+def test_cell_div(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: design_ablations.run_cell_div(scale=scale), rounds=1, iterations=1
+    )
+    print("\ncell_div ablation (KNN, KITTI-12M)")
+    print(format_table(rows))
+    # Finer grids -> more partition diversity and fewer IS calls.
+    assert rows[-1]["n_partitions"] >= rows[0]["n_partitions"]
+    assert rows[-1]["is_calls"] <= rows[0]["is_calls"]
+
+
+def test_knn_aabb_mode(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: design_ablations.run_knn_aabb_mode(scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nknn_aabb sizing (NBody-9M)")
+    print(format_table(rows))
+    by = {r["mode"]: r for r in rows}
+    # Conservative sizing is exact; the heuristic trades (at most a
+    # little) recall for fewer IS calls.
+    assert by["conservative"]["recall"] == 1.0
+    assert by["equiv_volume"]["recall"] >= 0.95
+    assert by["equiv_volume"]["is_calls"] <= by["conservative"]["is_calls"]

@@ -1,0 +1,19 @@
+"""Benchmark: Fig. 5 — ordered vs random query-to-ray mapping."""
+
+from repro.experiments import fig05_coherence
+from repro.experiments.harness import format_table
+
+
+def test_fig05(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: fig05_coherence.run(sizes=(3_000, 9_000, 27_000), scale=max(scale, 0.5)),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFig. 5 — search time, ordered vs random mapping")
+    print(format_table(rows))
+    # Paper shape: random is consistently slower, across all sizes.
+    for r in rows:
+        assert r["slowdown_random"] > 1.0
+    # and substantially slower at the largest size (paper: ~5x)
+    assert rows[-1]["slowdown_random"] > 2.0

@@ -1,0 +1,16 @@
+"""Benchmark: Fig. 6 — cache hit rates and occupancy, ordered vs random."""
+
+from repro.experiments import fig06_microarch
+from repro.experiments.harness import format_table
+
+
+def test_fig06(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: fig06_microarch.run(n=20_000, scale=max(scale, 0.75)), rounds=1, iterations=1
+    )
+    print("\nFig. 6 — microarchitectural behavior (paper: L1 82/38, L2 80/28, occ 80/35)")
+    print(format_table(rows))
+    by = {r["mapping"]: r for r in rows}
+    assert by["ordered"]["l1_hit_rate"] > by["random"]["l1_hit_rate"]
+    assert by["ordered"]["l2_hit_rate"] > by["random"]["l2_hit_rate"]
+    assert by["ordered"]["sm_occupancy"] > by["random"]["sm_occupancy"]

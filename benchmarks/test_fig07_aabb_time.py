@@ -1,0 +1,21 @@
+"""Benchmark: Fig. 7 — search time vs AABB width."""
+
+from repro.experiments import fig07_aabb_time
+from repro.experiments.harness import format_table
+
+WIDTHS = (0.3, 1.0, 3.0, 10.0, 20.0, 30.0)
+
+
+def test_fig07(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: fig07_aabb_time.run(widths=WIDTHS, n=10_000, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFig. 7 — search time vs AABB width (monotone increase)")
+    print(format_table(rows))
+    times = [r["search_ms"] for r in rows]
+    # Monotone overall growth: each doubling-scale step not slower than
+    # half the previous; strictly larger at the extremes.
+    assert times[-1] > 3 * times[0]
+    assert all(b > 0.8 * a for a, b in zip(times, times[1:]))

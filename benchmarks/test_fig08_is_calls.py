@@ -1,0 +1,24 @@
+"""Benchmark: Fig. 8 — IS-call count grows super-linearly with AABB width."""
+
+from repro.experiments import fig08_is_calls
+from repro.experiments.harness import format_table
+
+WIDTHS = (0.3, 1.0, 3.0, 10.0)
+
+
+def test_fig08(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: fig08_is_calls.run(widths=WIDTHS, n=10_000, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFig. 8 — IS calls vs AABB width")
+    print(format_table(rows))
+    exp = fig08_is_calls.growth_exponent(
+        [r["aabb_width"] for r in rows], [r["is_calls"] for r in rows]
+    )
+    print(f"log-log growth exponent: {exp:.2f} (cubic = 3, saturates at scene size)")
+    # Super-linear growth in the pre-saturation regime.
+    assert exp > 1.5
+    calls = [r["is_calls"] for r in rows]
+    assert all(b > a for a, b in zip(calls, calls[1:]))

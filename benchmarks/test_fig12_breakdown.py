@@ -1,0 +1,30 @@
+"""Benchmark: Fig. 12 — RTNN time distribution (Data/Opt/BVH/FS/Search)."""
+
+from repro.experiments import fig12_breakdown
+from repro.experiments.harness import format_table
+
+
+def test_fig12(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: fig12_breakdown.run(scale=scale), rounds=1, iterations=1
+    )
+    print("\nFig. 12 — time distribution (paper: KNN search-dominated, "
+          "small inputs overhead-dominated)")
+    print(format_table(rows))
+
+    def get(name, kind):
+        return next(r for r in rows if r["dataset"] == name and r["type"] == kind)
+
+    # KNN spends a larger search fraction than range search (§6.2).
+    for name in ("KITTI-12M", "Buddha-4.6M"):
+        assert get(name, "knn")["search_frac"] > get(name, "range")["search_frac"]
+    # The smallest input has a larger non-search share than the largest
+    # KITTI (the paper's "diminishing gains on small inputs").
+    assert (
+        get("Bunny-360K", "knn")["search_frac"]
+        < get("KITTI-25M", "knn")["search_frac"]
+    )
+    # Every run decomposes fully.
+    for r in rows:
+        total = sum(r[f"{c}_frac"] for c in ("data", "opt", "bvh", "fs", "search"))
+        assert abs(total - 1.0) < 1e-9

@@ -1,0 +1,32 @@
+"""Benchmark: Fig. 13 — teasing apart the optimizations."""
+
+from repro.experiments import fig13_ablation
+from repro.experiments.harness import format_table
+
+
+def test_fig13(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: fig13_ablation.run(scale=scale), rounds=1, iterations=1
+    )
+    print("\nFig. 13 — ablation (modeled ms per variant)")
+    print(format_table(rows))
+
+    def get(name, kind):
+        return next(r for r in rows if r["dataset"] == name and r["type"] == kind)
+
+    for r in rows:
+        # Scheduling always helps (paper: 1.8x - 5.9x).
+        assert r["sched_speedup"] > 1.2
+        # The shipping configuration is never far from oracle.
+        assert r["sched+part+bundle"] <= 2.0 * r["oracle"]
+
+    # Partitioning is dramatically effective for KNN on KITTI (paper: 154x).
+    assert get("KITTI-12M", "knn")["part_speedup"] > 3.0
+    # Partitioning helps KNN far more than range search (paper §6.3).
+    assert (
+        get("KITTI-12M", "knn")["part_speedup"]
+        > get("KITTI-12M", "range")["part_speedup"]
+    )
+    # On the clustered N-body input partitioning is marginal for range
+    # search (paper: it degrades; oracle disables it).
+    assert get("NBody-9M", "range")["part_speedup"] < 1.5

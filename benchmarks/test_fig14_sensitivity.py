@@ -1,0 +1,44 @@
+"""Benchmark: Fig. 14 — sensitivity to r and K on Buddha."""
+
+from repro.experiments import fig14_sensitivity
+from repro.experiments.harness import format_table
+
+
+def test_fig14a_radius(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: fig14_sensitivity.run_radius_sweep(
+            radii=(0.05, 0.1, 0.2, 0.4), scale=scale
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFig. 14a — range speedup vs r (Buddha)")
+    print(format_table(rows))
+    # cuNSearch speedup rises with r initially (more work to accelerate).
+    cu = [
+        float(r["cunsearch_x"][:-1])
+        for r in rows
+        if r["cunsearch_x"] not in ("DNF",)
+    ]
+    assert cu[1] > cu[0]
+
+
+def test_fig14b_k(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: fig14_sensitivity.run_k_sweep(ks=(1, 4, 16, 64), scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFig. 14b — KNN speedup vs K (Buddha)")
+    print(format_table(rows))
+    # RTNN beats the naive RT mapping at every K (the optimizations
+    # matter across the whole sweep). NOTE: the paper reports the
+    # speedup *increasing* with K; our mechanistic model yields the
+    # largest margins at small K because FastRNN's IS-call count is
+    # K-independent while RTNN's partitioned work grows with K — the
+    # divergence is recorded in EXPERIMENTS.md.
+    fa = [float(r["fastrnn_x"][:-1]) for r in rows if r["fastrnn_x"] != "DNF"]
+    assert all(v > 1.0 for v in fa)
+    # PCL joins only at K = 1 (its published limitation).
+    assert "pcloctree_x" in rows[0]
+    assert all("pcloctree_x" not in r for r in rows[1:])

@@ -1,0 +1,21 @@
+"""Benchmark: Fig. 15 — BVH construction time is linear in AABB count."""
+
+from repro.experiments import fig15_bvh_build
+from repro.experiments.harness import format_table
+
+
+def test_fig15(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: fig15_bvh_build.run(scale=max(scale, 0.5)),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFig. 15 — BVH build time vs AABB count")
+    print(format_table(rows))
+    f = fig15_bvh_build.fit(rows)
+    print(f"wall-clock linear fit R^2 = {f.r_squared:.4f} (paper: 0.996)")
+    assert f.r_squared > 0.95
+    assert f.slope > 0
+    # The modeled time is exactly linear by construction.
+    fm = fig15_bvh_build.fit(rows, column="modeled_ms")
+    assert fm.r_squared > 0.999999

@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 16 — query count vs AABB size across partitions."""
+
+from repro.experiments import fig16_partition_dist
+from repro.experiments.harness import format_table
+
+
+def test_fig16(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: fig16_partition_dist.run(dataset="KITTI-12M", scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFig. 16 — partition query counts vs AABB size")
+    print(format_table(rows))
+    rho = fig16_partition_dist.correlation(rows)
+    print(f"Spearman correlation: {rho:.3f} (paper: strongly negative)")
+    assert len(rows) >= 4  # real partition diversity
+    assert rho < -0.3

@@ -1,0 +1,66 @@
+"""Two-point correlation of a galaxy catalogue via RTNN range counts.
+
+Cosmology's bread-and-butter statistic: the two-point correlation
+function xi(r) measures how much more likely galaxy pairs are at
+separation r than in a uniform random catalogue. The pair counts DD(r)
+and DR(r) at a ladder of radii are exactly bounded range-search counts
+— the N-body use case that motivates the paper's third dataset family.
+
+Estimator (Davis-Peebles): xi(r) = DD(r) / DR(r) * (N_R / N_D) - 1,
+computed from differential shell counts.
+
+Run:  python examples/galaxy_correlation.py
+"""
+
+import numpy as np
+
+from repro import RTNNEngine
+from repro.datasets import nbody_like
+
+BOX = 500.0
+N_GALAXIES = 20_000
+RADII = np.array([4.0, 8.0, 16.0, 32.0, 64.0])
+MAX_COUNT = 4096
+
+
+def cumulative_pair_counts(engine: RTNNEngine, queries: np.ndarray) -> np.ndarray:
+    """Pairs within each radius of the ladder (sum of range counts)."""
+    totals = np.empty(len(RADII))
+    modeled = 0.0
+    for i, r in enumerate(RADII):
+        res = engine.range_search(queries, radius=float(r), k=MAX_COUNT)
+        totals[i] = res.counts.sum()
+        modeled += res.report.modeled_time
+    print(f"    ({modeled * 1e3:.2f} modeled ms across the radius ladder)")
+    return totals
+
+
+def main():
+    rng = np.random.default_rng(2)
+    galaxies = nbody_like(N_GALAXIES, seed=2, box_size=BOX)
+    randoms = rng.uniform(0, BOX, (N_GALAXIES, 3))
+    print(f"catalogue: {N_GALAXIES} galaxies in a {BOX:.0f}^3 box")
+
+    print("  DD: data-data pair counts")
+    dd = cumulative_pair_counts(RTNNEngine(galaxies), galaxies)
+    print("  DR: data-random pair counts")
+    dr = cumulative_pair_counts(RTNNEngine(randoms), galaxies)
+
+    # Differential shells from the cumulative ladders.
+    dd_shell = np.diff(np.concatenate(([0.0], dd)))
+    dr_shell = np.diff(np.concatenate(([0.0], dr)))
+    xi = dd_shell / np.maximum(dr_shell, 1.0) - 1.0
+
+    print("\n  r [Mpc/h]    DD shell    DR shell     xi(r)")
+    for r, a, b, x in zip(RADII, dd_shell, dr_shell, xi):
+        print(f"  {r:9.1f} {a:11.0f} {b:11.0f} {x:9.2f}")
+
+    # Hierarchical clustering: correlation strongest at small r and
+    # decaying outward — verify the qualitative law holds.
+    assert xi[0] > xi[-1] > -1.0
+    print("\nxi(r) decays with r: the catalogue is hierarchically clustered, "
+          "as the Millennium-style generator intends.")
+
+
+if __name__ == "__main__":
+    main()

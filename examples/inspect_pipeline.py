@@ -1,0 +1,64 @@
+"""Peek inside the simulated ray-tracing pipeline (the paper's Fig. 1b).
+
+Renders per-ray execution timelines — RT-core traversal bursts (TL)
+interleaved with IS shader calls — for a coherent and an incoherent
+pair of queries, then prints the launch-level hardware picture the cost
+model sees. This is the introspection the paper uses to motivate query
+scheduling: spatially-distant rays exercise different traversal paths
+and schedules.
+
+Run:  python examples/inspect_pipeline.py
+"""
+
+import numpy as np
+
+from repro.core.queues import KnnQueueBatch
+from repro.core.shaders import KnnShader
+from repro.geometry.ray import short_rays_from_queries
+from repro.gpu.costmodel import IsKind
+from repro.optix import Pipeline, build_gas, record_timelines, render_timelines
+
+rng = np.random.default_rng(42)
+points = rng.random((5_000, 3))
+radius = 0.06
+
+pipe = Pipeline()
+gas = build_gas(points, radius, pipe.cost_model, leaf_size=1)
+
+# Two spatially close queries and one far-away query.
+queries = np.array(
+    [
+        points[0] + 0.001,          # ray 0
+        points[0] + 0.002,          # ray 1: coherent with ray 0
+        1.0 - points[0],            # ray 2: far side of the scene
+    ]
+)
+
+acc = KnnQueueBatch(len(queries), k=4, radius=radius)
+shader = KnnShader(points, queries, np.arange(len(queries)), acc)
+rays = short_rays_from_queries(queries)
+
+print("Per-ray execution timelines (cf. paper Fig. 1b):")
+timelines = record_timelines(gas, rays, shader, watch=(0, 1, 2))
+print(render_timelines(timelines))
+print()
+
+coherent = [sum(1 for e in t.events if e == "TL") for t in timelines]
+print(f"rays 0/1 (coherent) popped {coherent[0]}/{coherent[1]} nodes; "
+      f"ray 2 (distant) popped {coherent[2]} — different paths, "
+      "different schedules.\n")
+
+# The launch-level view the cost model consumes.
+acc2 = KnnQueueBatch(len(points), k=4, radius=radius)
+shader2 = KnnShader(points, points, np.arange(len(points)), acc2)
+launch = pipe.launch(gas, short_rays_from_queries(points), shader2, IsKind.KNN)
+t = launch.trace
+print(f"full self-search launch: {t.n_rays} rays")
+print(f"  traversal: {t.total_steps} pops, SIMD efficiency "
+      f"{t.simd_efficiency:.2f}")
+print(f"  IS shader: {t.total_is_calls} calls, SIMD efficiency "
+      f"{t.is_simd_efficiency:.2f}")
+print(f"  caches: L1 {launch.l1_hit_rate:.0%}, L2 {launch.l2_hit_rate:.0%}")
+print(f"  modeled time: {launch.modeled_time * 1e6:.1f} us "
+      f"(RT {launch.cost.rt_time * 1e6:.1f} / IS {launch.cost.is_time * 1e6:.1f}"
+      f" / mem {launch.cost.mem_time * 1e6:.1f})")

@@ -1,0 +1,45 @@
+"""One-shot convenience API.
+
+For callers who do not reuse the engine across query batches::
+
+    from repro.api import knn_search, range_search
+
+    res = knn_search(points, queries, k=8, radius=0.1)
+
+Engine construction (Morton ordering of the points) is the only work
+these helpers repeat versus holding an :class:`~repro.RTNNEngine`.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import RTNNConfig, RTNNEngine
+from repro.core.results import SearchResults
+from repro.gpu.device import DeviceSpec, RTX_2080
+
+
+def knn_search(
+    points,
+    queries,
+    k: int,
+    radius: float,
+    device: DeviceSpec = RTX_2080,
+    config: RTNNConfig | None = None,
+) -> SearchResults:
+    """The ``k`` nearest neighbors of each query within ``radius``."""
+    return RTNNEngine(points, device=device, config=config).knn_search(
+        queries, k=k, radius=radius
+    )
+
+
+def range_search(
+    points,
+    queries,
+    radius: float,
+    k: int,
+    device: DeviceSpec = RTX_2080,
+    config: RTNNConfig | None = None,
+) -> SearchResults:
+    """Up to ``k`` neighbors of each query within ``radius``."""
+    return RTNNEngine(points, device=device, config=config).range_search(
+        queries, radius=radius, k=k
+    )

@@ -1,0 +1,62 @@
+"""Exact brute-force neighbor search — the correctness oracle.
+
+O(N·Q) chunked pairwise distances; no hardware modeling. Every other
+searcher in the repository is validated against these two functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import SearchResults, empty_results
+from repro.geometry.sphere import pairwise_sq_distances
+from repro.utils.validate import as_points, check_positive, check_positive_int
+
+#: queries per chunk, keeps the distance matrix ~tens of MB
+_CHUNK = 2048
+
+
+def brute_force_range(points, queries, radius: float, k: int) -> SearchResults:
+    """All neighbors within ``radius`` (at most ``k``, nearest kept).
+
+    Keeping the *nearest* k (rather than arbitrary k) makes the result
+    deterministic and a superset-safe reference for bounded range
+    search: any correct bounded implementation must return k neighbors
+    all within radius whenever the oracle finds >= k.
+    """
+    points = as_points(points, "points")
+    queries = as_points(queries, "queries")
+    radius = check_positive(radius, "radius")
+    k = check_positive_int(k, "k")
+    return _brute(points, queries, radius, k)
+
+
+def brute_force_knn(points, queries, k: int, radius: float) -> SearchResults:
+    """The exact ``k`` nearest neighbors within ``radius``."""
+    points = as_points(points, "points")
+    queries = as_points(queries, "queries")
+    radius = check_positive(radius, "radius")
+    k = check_positive_int(k, "k")
+    return _brute(points, queries, radius, k)
+
+
+def _brute(points, queries, radius, k) -> SearchResults:
+    n_q = len(queries)
+    indices, counts, sq_d = empty_results(n_q, k)
+    r2 = radius * radius
+    for s in range(0, n_q, _CHUNK):
+        block = queries[s : s + _CHUNK]
+        d2 = pairwise_sq_distances(block, points)
+        d2_masked = np.where(d2 <= r2, d2, np.inf)
+        take = min(k, d2.shape[1])
+        part = np.argpartition(d2_masked, take - 1, axis=1)[:, :take]
+        rows = np.arange(len(block))[:, None]
+        pd2 = d2_masked[rows, part]
+        order = np.argsort(pd2, axis=1, kind="stable")
+        part = part[rows, order]
+        pd2 = pd2[rows, order]
+        valid = np.isfinite(pd2)
+        indices[s : s + _CHUNK, :take] = np.where(valid, part, -1)
+        sq_d[s : s + _CHUNK, :take] = pd2
+        counts[s : s + _CHUNK] = valid.sum(axis=1)
+    return SearchResults(indices=indices, counts=counts, sq_distances=sq_d, report=None)

@@ -1,0 +1,47 @@
+"""Cost constants for the non-RT baselines.
+
+The baselines execute regular, exhaustive work on the SMs, so their
+modeled time uses straightforward warp-round accounting (Σ per-warp max
+lane work — same convention as the traversal engine) with the cycle
+costs below, plus bandwidth-bound memory traffic at documented default
+hit rates. Grid methods stream cell-sorted data and enjoy high
+locality; software octree traversal is pointer-chasing and does not.
+"""
+
+#: cycles per candidate distance test (load + fused multiply-adds + compare)
+DIST_CYCLES = 24.0
+
+#: cuNSearch's per-candidate cost is higher than FRNN's: AoS point
+#: layout, atomics on the shared neighbor-list counters, no query
+#: reordering (measured gap between the two libraries in the paper is
+#: an order of magnitude)
+CUNSEARCH_DIST_CYCLES = 64.0
+
+#: cuNSearch cache behavior without query reordering
+CUNSEARCH_L1_HIT = 0.40
+CUNSEARCH_L2_HIT = 0.50
+
+#: extra cycles per accepted KNN candidate: a bounded insertion sort
+#: shifts up to K register entries, ~K/4 on average
+def knn_insert_cycles(k: int) -> float:
+    return 4.0 + 0.25 * k
+
+#: cycles per query per cell lookup (index arithmetic + range fetch)
+CELL_LOOKUP_CYCLES = 8.0
+
+#: cycles per node pop for *software* tree traversal: fetch the node
+#: (bounds + 8 child slots), compute a box distance, manage the
+#: local-memory stack — with no RT-core assist every step runs as SM
+#: instructions
+OCTREE_STEP_CYCLES = 160.0
+
+#: cycles per point per level for octree construction
+OCTREE_BUILD_CYCLES_PER_POINT = 12.0
+
+#: default cache hit rates: grid methods (streaming, cell-sorted)
+GRID_L1_HIT = 0.70
+GRID_L2_HIT = 0.80
+
+#: default cache hit rates: software octree traversal (irregular)
+OCTREE_L1_HIT = 0.35
+OCTREE_L2_HIT = 0.45

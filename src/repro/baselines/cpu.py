@@ -1,0 +1,325 @@
+"""CPU reference searchers (the paper's refs [17, 19, 25, 26]).
+
+The paper's related work contrasts GPU neighbor search with the CPU
+state of the art: FLANN's k-d trees and CompactNSearch's z-ordered
+compact grid. Fig. 11 benchmarks GPUs only, but a credible neighbor-
+search library ships CPU implementations too — and they double as
+additional exact references for the test suite.
+
+Both searchers report modeled *CPU* time through a small multicore
+cost model (:class:`CpuSpec`), kept deliberately simple: work counters
+x per-op cycles / (cores x clock). They are not part of the Fig. 11
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.gridcommon import segment_ranks, sweep_neighbors
+from repro.core.results import RunReport, SearchResults, empty_results
+from repro.geometry.grid import UniformGrid
+from repro.geometry.morton import morton_order
+from repro.metrics.breakdown import Breakdown
+from repro.utils.validate import as_points, check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A simple multicore CPU for modeled-time accounting."""
+
+    name: str = "8-core CPU"
+    n_cores: int = 8
+    clock_hz: float = 3.5e9
+    #: cycles per k-d node visit (branch + compare + fetch)
+    node_cycles: float = 12.0
+    #: cycles per candidate distance test (SIMD-friendly)
+    dist_cycles: float = 6.0
+
+    def time(self, node_visits: float, dist_tests: float) -> float:
+        cycles = node_visits * self.node_cycles + dist_tests * self.dist_cycles
+        return cycles / (self.n_cores * self.clock_hz)
+
+
+# ---------------------------------------------------------------------
+# FLANN-style k-d tree
+# ---------------------------------------------------------------------
+@dataclass
+class KdTree:
+    """Flat median-split k-d tree over a point set."""
+
+    axis: np.ndarray        # (M,) split axis; -1 for leaves
+    split: np.ndarray       # (M,) split coordinate
+    left: np.ndarray        # (M,) child ids; -1 for leaves
+    right: np.ndarray
+    start: np.ndarray       # (M,) leaf range into order
+    end: np.ndarray
+    order: np.ndarray       # (N,) point ids in tree order
+    points: np.ndarray
+    leaf_size: int
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.axis)
+
+
+def build_kdtree(points: np.ndarray, leaf_size: int = 16) -> KdTree:
+    """Median-split k-d tree (widest-axis split, like FLANN's default)."""
+    points = as_points(points, "points")
+    n = len(points)
+    leaf_size = int(leaf_size)
+    if leaf_size < 1:
+        raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+
+    order = np.arange(n, dtype=np.int64)
+    axis_l: list[int] = []
+    split_l: list[float] = []
+    left_l: list[int] = []
+    right_l: list[int] = []
+    start_l: list[int] = []
+    end_l: list[int] = []
+
+    def new_node(s, e):
+        axis_l.append(-1)
+        split_l.append(0.0)
+        left_l.append(-1)
+        right_l.append(-1)
+        start_l.append(s)
+        end_l.append(e)
+        return len(axis_l) - 1
+
+    root = new_node(0, n)
+    stack = [(0, n, root)]
+    while stack:
+        s, e, nid = stack.pop()
+        if e - s <= leaf_size:
+            continue
+        seg = order[s:e]
+        lo = points[seg].min(axis=0)
+        hi = points[seg].max(axis=0)
+        ax = int(np.argmax(hi - lo))
+        loc = np.argsort(points[seg, ax], kind="stable")
+        order[s:e] = seg[loc]
+        mid = s + (e - s) // 2
+        axis_l[nid] = ax
+        split_l[nid] = float(points[order[mid], ax])
+        lid = new_node(s, mid)
+        rid = new_node(mid, e)
+        left_l[nid] = lid
+        right_l[nid] = rid
+        stack.append((s, mid, lid))
+        stack.append((mid, e, rid))
+
+    return KdTree(
+        axis=np.asarray(axis_l, dtype=np.int64),
+        split=np.asarray(split_l),
+        left=np.asarray(left_l, dtype=np.int64),
+        right=np.asarray(right_l, dtype=np.int64),
+        start=np.asarray(start_l, dtype=np.int64),
+        end=np.asarray(end_l, dtype=np.int64),
+        order=order,
+        points=points,
+        leaf_size=leaf_size,
+    )
+
+
+class FlannKdTree:
+    """Exact k-d tree search (KNN and radius), modeled on a CPU."""
+
+    name = "FLANN-kdtree (CPU)"
+    supports = ("knn", "range")
+
+    def __init__(self, points, cpu: CpuSpec = CpuSpec(), leaf_size: int = 16):
+        self.cpu = cpu
+        self.tree = build_kdtree(points, leaf_size=leaf_size)
+        self.points = self.tree.points
+
+    # -- batched pruned traversal (shared by both query types) ---------
+    def _traverse(self, queries, prune2, on_leaf):
+        t = self.tree
+        n_q = len(queries)
+        visits = np.zeros(n_q, dtype=np.int64)
+        tests = np.zeros(n_q, dtype=np.int64)
+        if n_q == 0:
+            return visits, tests
+        depth = int(np.ceil(np.log2(max(len(t.points) / t.leaf_size, 2)))) + 3
+        stack = np.zeros((n_q, 2 * depth + 2), dtype=np.int64)
+        # parallel stack of accumulated off-split distances
+        offd2 = np.zeros((n_q, 2 * depth + 2), dtype=np.float64)
+        sp = np.ones(n_q, dtype=np.int64)
+        act = np.arange(n_q, dtype=np.int64)
+        while len(act):
+            sp[act] -= 1
+            nodes = stack[act, sp[act]]
+            bound = offd2[act, sp[act]]
+            visits[act] += 1
+            ok = bound <= prune2[act]
+            a = act[ok]
+            nd = nodes[ok]
+            b = bound[ok]
+            is_leaf = t.axis[nd] < 0
+
+            # leaves: test points
+            lr = a[is_leaf]
+            ln = nd[is_leaf]
+            if len(lr):
+                starts = t.start[ln]
+                counts = t.end[ln] - starts
+                for j in range(t.leaf_size):
+                    sel = counts > j
+                    if not sel.any():
+                        break
+                    r = lr[sel]
+                    pid = t.order[starts[sel] + j]
+                    diff = queries[r] - t.points[pid]
+                    d2 = np.einsum("ij,ij->i", diff, diff)
+                    tests[r] += 1
+                    on_leaf(r, pid, d2)
+
+            # internal: push far side (with added split distance), then near
+            ir = a[~is_leaf]
+            inn = nd[~is_leaf]
+            if len(ir):
+                ax = t.axis[inn]
+                delta = queries[ir, ax] - t.split[inn]
+                near = np.where(delta <= 0, t.left[inn], t.right[inn])
+                far = np.where(delta <= 0, t.right[inn], t.left[inn])
+                # Far side: at least the split-plane distance away
+                # (simple single-axis bound — conservative, hence safe).
+                stack[ir, sp[ir]] = far
+                offd2[ir, sp[ir]] = np.maximum(b[~is_leaf], delta * delta)
+                sp[ir] += 1
+                stack[ir, sp[ir]] = near
+                offd2[ir, sp[ir]] = b[~is_leaf]
+                sp[ir] += 1
+
+            act = act[sp[act] > 0]
+        return visits, tests
+
+    def knn_search(self, queries, k: int, radius: float) -> SearchResults:
+        """Exact ``k`` nearest within ``radius`` via pruned DFS."""
+        queries = as_points(queries, "queries")
+        radius = check_positive(radius, "radius")
+        k = check_positive_int(k, "k")
+        n_q = len(queries)
+        indices, counts, sq_d = empty_results(n_q, k)
+        worst = np.full(n_q, radius * radius)
+
+        def on_leaf(qids, pids, d2):
+            better = d2 <= worst[qids]
+            q, p, dd = qids[better], pids[better], d2[better]
+            if not len(q):
+                return
+            slots = counts[q]
+            open_slot = slots < k
+            qq, pp2, dd2 = q[open_slot], p[open_slot], dd[open_slot]
+            indices[qq, slots[open_slot]] = pp2
+            sq_d[qq, slots[open_slot]] = dd2
+            counts[qq] = slots[open_slot] + 1
+            repl = ~open_slot
+            if repl.any():
+                qq = q[repl]
+                victim = np.argmax(sq_d[qq], axis=1)
+                indices[qq, victim] = p[repl]
+                sq_d[qq, victim] = dd[repl]
+            full = counts == k
+            fq = np.unique(q[full[q]])
+            if len(fq):
+                worst[fq] = sq_d[fq].max(axis=1)
+
+        visits, tests = self._traverse(queries, worst, on_leaf)
+        report = self._report(visits, tests)
+        # sort rows by distance
+        rows = np.arange(n_q)[:, None]
+        order = np.argsort(sq_d, axis=1, kind="stable")
+        return SearchResults(indices[rows, order], counts, sq_d[rows, order], report)
+
+    def range_search(self, queries, radius: float, k: int) -> SearchResults:
+        """Up to ``k`` neighbors within ``radius`` (discovery order)."""
+        queries = as_points(queries, "queries")
+        radius = check_positive(radius, "radius")
+        k = check_positive_int(k, "k")
+        n_q = len(queries)
+        indices, counts, sq_d = empty_results(n_q, k)
+        r2 = radius * radius
+
+        def on_leaf(qids, pids, d2):
+            keep = d2 <= r2
+            q, p, dd = qids[keep], pids[keep], d2[keep]
+            slots = counts[q]
+            open_slot = slots < k
+            q, p, dd, slots = q[open_slot], p[open_slot], dd[open_slot], slots[open_slot]
+            indices[q, slots] = p
+            sq_d[q, slots] = dd
+            counts[q] = slots + 1
+
+        prune2 = np.full(n_q, r2)
+        visits, tests = self._traverse(queries, prune2, on_leaf)
+        return SearchResults(indices, counts, sq_d, self._report(visits, tests))
+
+    def _report(self, visits, tests) -> RunReport:
+        bd = Breakdown(search=self.cpu.time(float(visits.sum()), float(tests.sum())))
+        return RunReport(
+            breakdown=bd,
+            is_calls=int(tests.sum()),
+            traversal_steps=int(visits.sum()),
+            device=self.cpu.name,
+        )
+
+
+# ---------------------------------------------------------------------
+# CompactNSearch-style CPU grid
+# ---------------------------------------------------------------------
+class CompactNSearch:
+    """Z-ordered CPU grid range search (CompactNSearch's recipe)."""
+
+    name = "CompactNSearch (CPU)"
+    supports = ("range",)
+
+    def __init__(self, points, cpu: CpuSpec = CpuSpec()):
+        self.points = as_points(points, "points")
+        self.cpu = cpu
+
+    def range_search(self, queries, radius: float, k: int) -> SearchResults:
+        """Up to ``k`` neighbors within ``radius`` per query."""
+        queries = as_points(queries, "queries")
+        radius = check_positive(radius, "radius")
+        k = check_positive_int(k, "k")
+        n_q = len(queries)
+        grid = UniformGrid(self.points, cell_size=radius)
+        qorder = morton_order(queries) if n_q else np.arange(0, dtype=np.int64)
+        sorted_q = queries[qorder]
+
+        indices, counts, sq_d = empty_results(n_q, k)
+        total_candidates = 0
+        lookups = 0
+        block = 8192
+        for s in range(0, n_q, block):
+            sub_q = sorted_q[s : s + block]
+            sub_order = qorder[s : s + block]
+            sweep = sweep_neighbors(grid, sub_q)
+            total_candidates += int(sweep.work_per_query.sum())
+            lookups += sweep.cell_lookups
+            if not len(sweep.pair_q):
+                continue
+            diff = sub_q[sweep.pair_q] - self.points[sweep.pair_p]
+            d2 = np.einsum("ij,ij->i", diff, diff)
+            keep = d2 <= radius * radius
+            pq, pp, d2 = sweep.pair_q[keep], sweep.pair_p[keep], d2[keep]
+            ranks = segment_ranks(pq)
+            sel = ranks < k
+            rows = sub_order[pq[sel]]
+            indices[rows, ranks[sel]] = pp[sel]
+            sq_d[rows, ranks[sel]] = d2[sel]
+            counts[sub_order] = np.minimum(np.bincount(pq, minlength=len(sub_q)), k)
+
+        bd = Breakdown(search=self.cpu.time(float(lookups), float(total_candidates)))
+        report = RunReport(
+            breakdown=bd,
+            is_calls=total_candidates,
+            traversal_steps=lookups,
+            device=self.cpu.name,
+        )
+        return SearchResults(indices, counts, sq_d, report)

@@ -1,0 +1,121 @@
+"""cuNSearch-style uniform-grid fixed-radius search.
+
+Recipe (Hoetzlein's fast fixed-radius NN): counting-sort points into a
+grid with cell edge = r, process queries in cell-sorted order, test all
+points in the 27 neighboring cells, keep up to K within r. Exhaustive
+but perfectly regular — the work-inefficient / hardware-friendly end of
+the paper's trade-off. Range search only, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import costs
+from repro.baselines.gridcommon import segment_ranks, sweep_neighbors, warp_round_sum
+from repro.core.engine import POINT_BYTES
+from repro.core.results import RunReport, SearchResults, empty_results
+from repro.geometry.grid import UniformGrid
+from repro.gpu.costmodel import CostModel, LINE_BYTES
+from repro.gpu.device import DeviceSpec, RTX_2080
+from repro.metrics.breakdown import Breakdown
+from repro.utils.validate import as_points, check_positive, check_positive_int
+
+
+class CuNSearch:
+    """Grid-based range search costed on the simulated device."""
+
+    name = "cuNSearch"
+    supports = ("range",)
+
+    def __init__(self, points, device: DeviceSpec = RTX_2080, chunk_size: int = 8192):
+        self.points = as_points(points, "points")
+        self.device = device
+        self.cost_model = CostModel(device)
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = int(chunk_size)
+
+    def range_search(self, queries, radius: float, k: int) -> SearchResults:
+        """Up to ``k`` neighbors within ``radius`` per query."""
+        queries = as_points(queries, "queries")
+        radius = check_positive(radius, "radius")
+        k = check_positive_int(k, "k")
+        n_q = len(queries)
+        cm = self.cost_model
+
+        breakdown = Breakdown()
+        breakdown.data += cm.transfer_time((len(self.points) + n_q) * POINT_BYTES)
+
+        grid = UniformGrid(self.points, cell_size=radius)
+        breakdown.bvh += cm.grid_build_time(len(self.points)) + cm.sort_time(
+            len(self.points)
+        )
+
+        # cuNSearch processes queries in input order (no reordering in
+        # the library) — one of the reasons it trails FRNN.
+        qorder = np.arange(n_q, dtype=np.int64)
+        sorted_q = queries
+
+        indices, counts, sq_d = empty_results(n_q, k)
+        work_all = np.zeros(n_q, dtype=np.int64)
+        fetch_lines = 0
+        cell_lookups = 0
+        # Chunked sweep keeps the candidate pair arrays bounded at any
+        # input scale (full-scale inputs produce 10^8+ candidates).
+        block = self.chunk_size
+        for s in range(0, n_q, block):
+            sub_q = sorted_q[s : s + block]
+            sub_order = qorder[s : s + block]
+            sweep = sweep_neighbors(grid, sub_q)
+            work_all[s : s + block] = sweep.work_per_query
+            fetch_lines += sweep.point_fetch_lines
+            cell_lookups += sweep.cell_lookups
+            if len(sweep.pair_q) == 0:
+                continue
+            diff = sub_q[sweep.pair_q] - self.points[sweep.pair_p]
+            d2 = np.einsum("ij,ij->i", diff, diff)
+            keep = d2 <= radius * radius
+            pq, pp, d2 = sweep.pair_q[keep], sweep.pair_p[keep], d2[keep]
+            ranks = segment_ranks(pq)
+            sel = ranks < k
+            rows = sub_order[pq[sel]]
+            indices[rows, ranks[sel]] = pp[sel]
+            sq_d[rows, ranks[sel]] = d2[sel]
+            counts[sub_order] = np.minimum(
+                np.bincount(pq, minlength=len(sub_q)), k
+            )
+
+        rounds = warp_round_sum(work_all, self.device.warp_size)
+        lookup_rounds = warp_round_sum(
+            np.full(n_q, 27, dtype=np.int64), self.device.warp_size
+        )
+        search_t = cm.sm_time(rounds, costs.CUNSEARCH_DIST_CYCLES)
+        search_t += cm.sm_time(lookup_rounds, costs.CELL_LOOKUP_CYCLES)
+        search_t += self._mem_time(fetch_lines)
+        breakdown.search += search_t
+
+        report = RunReport(
+            breakdown=breakdown,
+            is_calls=int(work_all.sum()),
+            traversal_steps=cell_lookups,
+            device=self.device.name,
+            extras={"candidates": int(work_all.sum())},
+        )
+        return SearchResults(indices, counts, sq_d, report)
+
+    def _mem_time(self, lines: int) -> float:
+        d = self.device
+        past_l1 = lines * LINE_BYTES * (1.0 - costs.CUNSEARCH_L1_HIT)
+        past_l2 = past_l1 * (1.0 - costs.CUNSEARCH_L2_HIT)
+        return past_l1 / d.l2_bw + past_l2 / d.dram_bw
+
+    def modeled_memory_bytes(self, n_points: int, radius: float, extent: float) -> int:
+        """Device-memory footprint at a hypothetical scale.
+
+        A uniform grid with cell = r over a scene of edge ``extent``
+        needs per-cell start/count arrays — the term that blows up for
+        large scenes with small radii (the paper's OOM rows in Fig. 11).
+        """
+        n_cells = int(max(np.ceil(extent / radius), 1)) ** 3
+        return n_cells * 8 + n_points * (POINT_BYTES + 8)

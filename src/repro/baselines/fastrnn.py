@@ -1,0 +1,43 @@
+"""FastRNN: RT-core KNN *without* RTNN's optimizations.
+
+Evangelou et al. map KNN onto the ray-tracing hardware essentially as
+Listing 1 of the paper: one monolithic BVH with AABB width 2r, queries
+launched in input order, no scheduling, no partitioning. In this
+repository that is exactly :class:`~repro.core.engine.RTNNEngine` with
+every optimization disabled, so the baseline is a thin configuration
+wrapper — the comparison against it isolates the paper's contribution.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import RTNNConfig, RTNNEngine
+from repro.core.results import SearchResults
+from repro.gpu.device import DeviceSpec, RTX_2080
+
+
+class FastRNN:
+    """Naive RT-mapped KNN search (KNN only, as in the paper)."""
+
+    name = "FastRNN"
+    supports = ("knn",)
+
+    def __init__(self, points, device: DeviceSpec = RTX_2080, cache_sim: bool = True):
+        self._engine = RTNNEngine(
+            points,
+            device=device,
+            config=RTNNConfig(
+                schedule=False, partition=False, bundle=False, cache_sim=cache_sim
+            ),
+        )
+
+    @property
+    def points(self):
+        return self._engine.points
+
+    def knn_search(self, queries, k: int, radius: float) -> SearchResults:
+        """The ``k`` nearest neighbors within ``radius`` per query."""
+        return self._engine.knn_search(queries, k=k, radius=radius)
+
+    def modeled_memory_bytes(self, n_points: int) -> int:
+        """BVH (~2 nodes per primitive) + primitive AABBs + points."""
+        return n_points * (2 * 32 + 32 + 12)

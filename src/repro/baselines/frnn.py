@@ -1,0 +1,122 @@
+"""FRNN-style grid-based K-nearest-within-radius search.
+
+FRNN (the PyTorch3D drop-in) also builds a radius-edge uniform grid but
+keeps the K *nearest* candidates rather than the first K: every
+candidate within r competes in a bounded insertion sort. Same regular,
+exhaustive sweep as cuNSearch, with the extra per-accepted-candidate
+insertion cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import costs
+from repro.baselines.gridcommon import segment_ranks, sweep_neighbors, warp_round_sum
+from repro.core.engine import POINT_BYTES
+from repro.core.results import RunReport, SearchResults, empty_results
+from repro.geometry.grid import UniformGrid
+from repro.geometry.morton import morton_order
+from repro.gpu.costmodel import CostModel, LINE_BYTES
+from repro.gpu.device import DeviceSpec, RTX_2080
+from repro.metrics.breakdown import Breakdown
+from repro.utils.validate import as_points, check_positive, check_positive_int
+
+
+class FRNN:
+    """Grid-based KNN (bounded by radius) costed on the simulated device."""
+
+    name = "FRNN"
+    supports = ("knn",)
+
+    def __init__(self, points, device: DeviceSpec = RTX_2080, chunk_size: int = 8192):
+        self.points = as_points(points, "points")
+        self.device = device
+        self.cost_model = CostModel(device)
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = int(chunk_size)
+
+    def knn_search(self, queries, k: int, radius: float) -> SearchResults:
+        """The ``k`` nearest neighbors within ``radius`` per query."""
+        queries = as_points(queries, "queries")
+        radius = check_positive(radius, "radius")
+        k = check_positive_int(k, "k")
+        n_q = len(queries)
+        cm = self.cost_model
+
+        breakdown = Breakdown()
+        breakdown.data += cm.transfer_time((len(self.points) + n_q) * POINT_BYTES)
+
+        grid = UniformGrid(self.points, cell_size=radius)
+        breakdown.bvh += cm.grid_build_time(len(self.points)) + cm.sort_time(
+            len(self.points)
+        )
+        qorder = morton_order(queries) if n_q else np.arange(0, dtype=np.int64)
+        breakdown.opt += cm.sort_time(n_q)
+        sorted_q = queries[qorder]
+
+        indices, counts, sq_d = empty_results(n_q, k)
+        work_all = np.zeros(n_q, dtype=np.int64)
+        fetch_lines = 0
+        cell_lookups = 0
+        accepted = 0
+        # Chunked sweep bounds the candidate pair arrays at any scale.
+        block = self.chunk_size
+        for s in range(0, n_q, block):
+            sub_q = sorted_q[s : s + block]
+            sub_order = qorder[s : s + block]
+            sweep = sweep_neighbors(grid, sub_q)
+            work_all[s : s + block] = sweep.work_per_query
+            fetch_lines += sweep.point_fetch_lines
+            cell_lookups += sweep.cell_lookups
+            if len(sweep.pair_q) == 0:
+                continue
+            diff = sub_q[sweep.pair_q] - self.points[sweep.pair_p]
+            d2 = np.einsum("ij,ij->i", diff, diff)
+            keep = d2 <= radius * radius
+            pq, pp, d2 = sweep.pair_q[keep], sweep.pair_p[keep], d2[keep]
+            accepted += len(pq)
+            # Nearest-K per query: sort by (query, distance), keep ranks < k.
+            order = np.lexsort((d2, pq))
+            pq, pp, d2 = pq[order], pp[order], d2[order]
+            ranks = segment_ranks(pq)
+            sel = ranks < k
+            rows = sub_order[pq[sel]]
+            indices[rows, ranks[sel]] = pp[sel]
+            sq_d[rows, ranks[sel]] = d2[sel]
+            counts[sub_order] = np.minimum(
+                np.bincount(pq, minlength=len(sub_q)), k
+            )
+
+        rounds = warp_round_sum(work_all, self.device.warp_size)
+        lookup_rounds = warp_round_sum(
+            np.full(n_q, 27, dtype=np.int64), self.device.warp_size
+        )
+        search_t = cm.sm_time(rounds, costs.DIST_CYCLES)
+        search_t += cm.sm_time(lookup_rounds, costs.CELL_LOOKUP_CYCLES)
+        search_t += cm.sm_time(
+            accepted / self.device.warp_size, costs.knn_insert_cycles(k)
+        )
+        search_t += self._mem_time(fetch_lines)
+        breakdown.search += search_t
+
+        report = RunReport(
+            breakdown=breakdown,
+            is_calls=int(work_all.sum()),
+            traversal_steps=cell_lookups,
+            device=self.device.name,
+            extras={"candidates": int(work_all.sum()), "accepted": accepted},
+        )
+        return SearchResults(indices, counts, sq_d, report)
+
+    def _mem_time(self, lines: int) -> float:
+        d = self.device
+        past_l1 = lines * LINE_BYTES * (1.0 - costs.GRID_L1_HIT)
+        past_l2 = past_l1 * (1.0 - costs.GRID_L2_HIT)
+        return past_l1 / d.l2_bw + past_l2 / d.dram_bw
+
+    def modeled_memory_bytes(self, n_points: int, radius: float, extent: float) -> int:
+        """Grid + sorted points + per-query K-buffers at a given scale."""
+        n_cells = int(max(np.ceil(extent / radius), 1)) ** 3
+        return n_cells * 8 + n_points * (POINT_BYTES + 8)

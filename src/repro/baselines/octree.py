@@ -1,0 +1,256 @@
+"""Adaptive linear octree: construction and batched traversal.
+
+The space-partitioning counterpart of the BVH (PCL's octree in the
+paper). Construction is level-synchronous and fully vectorized: points
+are sorted once by 63-bit Morton code; a node covering a contiguous
+code range splits into (up to) eight children whose ranges are found
+with a single ``searchsorted`` over the code array; bounds come from
+``reduceat`` over the sorted coordinates.
+
+Traversal is the software (SM-only) analogue of the RT-core engine:
+batched DFS with per-query prune radii, pruning subtrees whose box
+lies farther than the current prune distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.morton import morton_encode_3d, MORTON_BITS_3D
+
+
+@dataclass
+class Octree:
+    """Flat adaptive octree over a point set."""
+
+    node_lo: np.ndarray      # (M, 3)
+    node_hi: np.ndarray      # (M, 3)
+    node_start: np.ndarray   # (M,) range into point_order
+    node_end: np.ndarray
+    child_first: np.ndarray  # (M,) id of first child; -1 for leaves
+    child_count: np.ndarray  # (M,) number of children (0 for leaves)
+    point_order: np.ndarray  # (N,) Morton-sorted original point ids
+    points: np.ndarray       # (N, 3) original points
+    depth: int
+    leaf_size: int
+    max_leaf_count: int
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_start)
+
+    @property
+    def n_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def is_leaf(self) -> np.ndarray:
+        return self.child_first < 0
+
+
+def _segment_minmax(coords: np.ndarray, starts: np.ndarray, ends: np.ndarray):
+    n = len(coords)
+    idx = np.empty(2 * len(starts), dtype=np.int64)
+    idx[0::2] = starts
+    idx[1::2] = ends
+    if idx[-1] == n:
+        idx = idx[:-1]
+    lo = np.minimum.reduceat(coords, idx, axis=0)[0::2]
+    hi = np.maximum.reduceat(coords, idx, axis=0)[0::2]
+    return lo, hi
+
+
+def build_octree(points: np.ndarray, leaf_size: int = 8) -> Octree:
+    """Build an adaptive octree; nodes split while they exceed ``leaf_size``.
+
+    Splitting stops at the Morton resolution limit (duplicate points can
+    therefore produce oversized leaves, handled by ``max_leaf_count``).
+    """
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    n = len(points)
+    if n == 0:
+        raise ValueError("cannot build an octree over zero points")
+    leaf_size = int(leaf_size)
+    if leaf_size < 1:
+        raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+
+    codes = morton_encode_3d(points)
+    order = np.argsort(codes, kind="stable")
+    scodes = codes[order]
+    scoords = points[order]
+
+    starts_all: list[np.ndarray] = []
+    ends_all: list[np.ndarray] = []
+    first_all: list[np.ndarray] = []
+    count_all: list[np.ndarray] = []
+    level_sizes: list[int] = []
+
+    f_start = np.array([0], dtype=np.int64)
+    f_end = np.array([n], dtype=np.int64)
+    f_prefix = np.array([0], dtype=np.uint64)
+    depth = 0
+    d = 0
+    nodes_so_far = 0
+    while len(f_start):
+        counts = f_end - f_start
+        split = (counts > leaf_size) & (d < MORTON_BITS_3D)
+        n_split = int(split.sum())
+
+        child_first = np.full(len(f_start), -1, dtype=np.int64)
+        child_count = np.zeros(len(f_start), dtype=np.int64)
+
+        if n_split:
+            sp = f_prefix[split]
+            shift = np.uint64(3 * (MORTON_BITS_3D - d - 1))
+            # 9 boundary code values per splitting node
+            kids = (sp[:, None] * np.uint64(8)) + np.arange(9, dtype=np.uint64)[None, :]
+            bounds = (kids << shift).ravel()
+            pos = np.searchsorted(scodes, bounds).reshape(-1, 9)
+            # clamp to the node's own range (prefix+8 may overflow into
+            # the next sibling's codes only at exact boundaries)
+            pos[:, 0] = f_start[split]
+            pos[:, 8] = f_end[split]
+            c_start = pos[:, :8].ravel()
+            c_end = pos[:, 1:].ravel()
+            c_prefix = kids[:, :8].ravel()
+            nonempty = c_end > c_start
+            c_start = c_start[nonempty]
+            c_end = c_end[nonempty]
+            c_prefix = c_prefix[nonempty]
+            per_node = nonempty.reshape(-1, 8).sum(axis=1)
+            base = nodes_so_far + len(f_start)
+            offsets = np.concatenate(([0], np.cumsum(per_node)))[:-1]
+            child_first[split] = base + offsets
+            child_count[split] = per_node
+        starts_all.append(f_start)
+        ends_all.append(f_end)
+        first_all.append(child_first)
+        count_all.append(child_count)
+        level_sizes.append(len(f_start))
+        nodes_so_far += len(f_start)
+
+        if n_split == 0:
+            break
+        f_start, f_end, f_prefix = c_start, c_end, c_prefix
+        d += 1
+        depth += 1
+
+    node_start = np.concatenate(starts_all)
+    node_end = np.concatenate(ends_all)
+    child_first = np.concatenate(first_all)
+    child_count = np.concatenate(count_all)
+
+    m = len(node_start)
+    node_lo = np.empty((m, 3), dtype=np.float64)
+    node_hi = np.empty((m, 3), dtype=np.float64)
+    off = 0
+    for size, s, e in zip(level_sizes, starts_all, ends_all):
+        lo, hi = _segment_minmax(scoords, s, e)
+        node_lo[off : off + size] = lo
+        node_hi[off : off + size] = hi
+        off += size
+
+    leaf = child_first < 0
+    max_leaf_count = int((node_end - node_start)[leaf].max())
+    return Octree(
+        node_lo=node_lo,
+        node_hi=node_hi,
+        node_start=node_start,
+        node_end=node_end,
+        child_first=child_first,
+        child_count=child_count,
+        point_order=order,
+        points=points,
+        depth=depth,
+        leaf_size=leaf_size,
+        max_leaf_count=max_leaf_count,
+    )
+
+
+@dataclass
+class OctreeTraceStats:
+    """Work counters from one batched octree traversal."""
+
+    steps: np.ndarray       # (Q,) node pops
+    dist_tests: np.ndarray  # (Q,) leaf point distance tests
+
+
+def octree_traverse(
+    tree: Octree,
+    queries: np.ndarray,
+    prune2: np.ndarray,
+    leaf_callback,
+) -> OctreeTraceStats:
+    """Batched DFS with per-query prune distances.
+
+    A node is descended if the squared distance from the query to its
+    box is <= the query's current ``prune2`` (which ``leaf_callback``
+    may shrink — nearest-neighbor search does). ``leaf_callback(qids,
+    pids, d2)`` receives every leaf point tested and returns query ids
+    to terminate, or ``None``.
+    """
+    queries = np.ascontiguousarray(queries, dtype=np.float64)
+    n_q = len(queries)
+    steps = np.zeros(n_q, dtype=np.int64)
+    tests = np.zeros(n_q, dtype=np.int64)
+    if n_q == 0:
+        return OctreeTraceStats(steps, tests)
+
+    stack_width = 8 * (tree.depth + 1) + 2
+    stack = np.zeros((n_q, stack_width), dtype=np.int64)
+    sp = np.ones(n_q, dtype=np.int64)
+    alive = np.ones(n_q, dtype=bool)
+    act = np.arange(n_q, dtype=np.int64)
+
+    while len(act):
+        sp[act] -= 1
+        nodes = stack[act, sp[act]]
+        steps[act] += 1
+
+        lo = tree.node_lo[nodes]
+        hi = tree.node_hi[nodes]
+        q = queries[act]
+        d = np.maximum(np.maximum(lo - q, q - hi), 0.0)
+        box_d2 = np.einsum("ij,ij->i", d, d)
+        hit = box_d2 <= prune2[act]
+
+        h_rays = act[hit]
+        h_nodes = nodes[hit]
+        internal = tree.child_first[h_nodes] >= 0
+
+        pi = h_rays[internal]
+        if len(pi):
+            ni = h_nodes[internal]
+            first = tree.child_first[ni]
+            cnt = tree.child_count[ni]
+            for j in range(8):
+                sel = cnt > j
+                if not sel.any():
+                    break
+                r = pi[sel]
+                stack[r, sp[r]] = first[sel] + j
+                sp[r] += 1
+
+        l_rays = h_rays[~internal]
+        l_nodes = h_nodes[~internal]
+        if len(l_rays):
+            starts = tree.node_start[l_nodes]
+            cnt = tree.node_end[l_nodes] - starts
+            for j in range(tree.max_leaf_count):
+                sel = (cnt > j) & alive[l_rays]
+                if not sel.any():
+                    break
+                r = l_rays[sel]
+                pids = tree.point_order[starts[sel] + j]
+                diff = queries[r] - tree.points[pids]
+                d2 = np.einsum("ij,ij->i", diff, diff)
+                tests[r] += 1
+                term = leaf_callback(r, pids, d2)
+                if term is not None and len(term):
+                    alive[np.asarray(term, dtype=np.int64)] = False
+
+        act = act[alive[act] & (sp[act] > 0)]
+
+    return OctreeTraceStats(steps=steps, dist_tests=tests)

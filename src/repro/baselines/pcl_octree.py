@@ -1,0 +1,138 @@
+"""PCL-Octree-style searcher.
+
+PCL's GPU octree offers radius search (with a max-neighbor bound) and
+nearest-neighbor search with K = 1 only — exactly the limitation noted
+in the paper ("PCLOctree supports only K=1 for KNN search"). Both
+searches run the batched software traversal of
+:mod:`repro.baselines.octree`; the cost model charges software
+tree-traversal rates (no RT-core assist), which is precisely what RTNN's
+hardware traversal beats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import costs
+from repro.baselines.gridcommon import warp_round_sum
+from repro.baselines.octree import build_octree, octree_traverse
+from repro.core.engine import POINT_BYTES
+from repro.core.results import RunReport, SearchResults, empty_results
+from repro.gpu.costmodel import CostModel, LINE_BYTES
+from repro.gpu.device import DeviceSpec, RTX_2080
+from repro.metrics.breakdown import Breakdown
+from repro.utils.validate import as_points, check_positive, check_positive_int
+
+
+class PCLOctree:
+    """Octree radius / nearest-neighbor search on the simulated device."""
+
+    name = "PCL-Octree"
+    supports = ("range", "knn1")
+
+    def __init__(self, points, device: DeviceSpec = RTX_2080, leaf_size: int = 8):
+        self.points = as_points(points, "points")
+        self.device = device
+        self.cost_model = CostModel(device)
+        self.tree = build_octree(self.points, leaf_size=leaf_size)
+
+    # ------------------------------------------------------------------
+    def _build_time(self) -> float:
+        cm = self.cost_model
+        n = len(self.points)
+        rounds = n * max(self.tree.depth, 1) / self.device.warp_size
+        return cm.sort_time(n) + cm.sm_time(rounds, costs.OCTREE_BUILD_CYCLES_PER_POINT)
+
+    def _mem_time(self, lines: float) -> float:
+        d = self.device
+        past_l1 = lines * LINE_BYTES * (1.0 - costs.OCTREE_L1_HIT)
+        past_l2 = past_l1 * (1.0 - costs.OCTREE_L2_HIT)
+        return past_l1 / d.l2_bw + past_l2 / d.dram_bw
+
+    def _finish(self, stats, breakdown, n_q) -> RunReport:
+        ws = self.device.warp_size
+        search_t = self.cost_model.sm_time(
+            warp_round_sum(stats.steps, ws), costs.OCTREE_STEP_CYCLES
+        )
+        search_t += self.cost_model.sm_time(
+            warp_round_sum(stats.dist_tests, ws), costs.DIST_CYCLES
+        )
+        lines = stats.steps.sum() + stats.dist_tests.sum() / 4.0
+        search_t += self._mem_time(float(lines))
+        breakdown.search += search_t
+        return RunReport(
+            breakdown=breakdown,
+            is_calls=int(stats.dist_tests.sum()),
+            traversal_steps=int(stats.steps.sum()),
+            device=self.device.name,
+        )
+
+    # ------------------------------------------------------------------
+    def range_search(self, queries, radius: float, k: int) -> SearchResults:
+        """Up to ``k`` neighbors within ``radius`` (traversal order)."""
+        queries = as_points(queries, "queries")
+        radius = check_positive(radius, "radius")
+        k = check_positive_int(k, "k")
+        n_q = len(queries)
+        cm = self.cost_model
+
+        breakdown = Breakdown()
+        breakdown.data += cm.transfer_time((len(self.points) + n_q) * POINT_BYTES)
+        breakdown.bvh += self._build_time()
+
+        indices, counts, sq_d = empty_results(n_q, k)
+        r2 = radius * radius
+
+        def on_leaf(qids, pids, d2):
+            keep = d2 <= r2
+            if not keep.any():
+                return None
+            q, p, dd = qids[keep], pids[keep], d2[keep]
+            slots = counts[q]
+            open_slot = slots < k
+            q, p, dd, slots = q[open_slot], p[open_slot], dd[open_slot], slots[open_slot]
+            indices[q, slots] = p
+            sq_d[q, slots] = dd
+            counts[q] = slots + 1
+            return q[slots + 1 == k]
+
+        prune2 = np.full(n_q, r2, dtype=np.float64)
+        stats = octree_traverse(self.tree, queries, prune2, on_leaf)
+        report = self._finish(stats, breakdown, n_q)
+        return SearchResults(indices, counts, sq_d, report)
+
+    def knn_search(self, queries, k: int, radius: float) -> SearchResults:
+        """Nearest neighbor within ``radius``; PCL supports only k = 1."""
+        if int(k) != 1:
+            raise ValueError("PCLOctree KNN supports only k=1 (as in the paper)")
+        queries = as_points(queries, "queries")
+        radius = check_positive(radius, "radius")
+        n_q = len(queries)
+        cm = self.cost_model
+
+        breakdown = Breakdown()
+        breakdown.data += cm.transfer_time((len(self.points) + n_q) * POINT_BYTES)
+        breakdown.bvh += self._build_time()
+
+        indices, counts, sq_d = empty_results(n_q, 1)
+        prune2 = np.full(n_q, radius * radius, dtype=np.float64)
+
+        def on_leaf(qids, pids, d2):
+            better = d2 < prune2[qids]
+            if not better.any():
+                return None
+            q, p, dd = qids[better], pids[better], d2[better]
+            indices[q, 0] = p
+            sq_d[q, 0] = dd
+            counts[q] = 1
+            prune2[q] = dd  # shrink the prune radius as we improve
+            return None
+
+        stats = octree_traverse(self.tree, queries, prune2, on_leaf)
+        report = self._finish(stats, breakdown, n_q)
+        return SearchResults(indices, counts, sq_d, report)
+
+    def modeled_memory_bytes(self, n_points: int) -> int:
+        """Octree nodes + sorted points at a hypothetical scale."""
+        nodes = 2 * n_points // self.tree.leaf_size + 1
+        return nodes * 48 + n_points * (POINT_BYTES + 8)

@@ -1,0 +1,32 @@
+"""Bounding Volume Hierarchy substrate.
+
+This package stands in for the opaque BVH builder + hardware traversal
+inside OptiX/RT cores:
+
+* :mod:`repro.bvh.node` — flat array-of-arrays node layout,
+* :mod:`repro.bvh.build` — LBVH (Morton-ordered, level-wise vectorized)
+  and a reference median-split builder,
+* :mod:`repro.bvh.traverse` — batched lockstep stack traversal with the
+  hardware counters (pops, IS calls, warp steps) the GPU model consumes,
+* :mod:`repro.bvh.stats` — tree-quality statistics (depth, SAH cost).
+"""
+
+from repro.bvh.node import BVH
+from repro.bvh.build import build_lbvh, build_median_split
+from repro.bvh.traverse import trace_batch, TraceResult
+from repro.bvh.refit import refit_bvh
+from repro.bvh.serialize import save_bvh, load_bvh
+from repro.bvh.stats import tree_stats, validate_bvh
+
+__all__ = [
+    "BVH",
+    "build_lbvh",
+    "build_median_split",
+    "trace_batch",
+    "TraceResult",
+    "refit_bvh",
+    "save_bvh",
+    "load_bvh",
+    "tree_stats",
+    "validate_bvh",
+]

@@ -1,0 +1,57 @@
+"""BVH persistence: save/load built trees as ``.npz`` archives.
+
+Building a BVH over a large static scene once and reusing it across
+sessions is standard practice; this module round-trips every array of
+the flat layout plus the scalar metadata.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bvh.node import BVH
+
+_ARRAYS = (
+    "node_lo",
+    "node_hi",
+    "node_left",
+    "node_right",
+    "node_start",
+    "node_end",
+    "prim_order",
+    "prim_lo",
+    "prim_hi",
+)
+
+#: bump when the on-disk layout changes
+FORMAT_VERSION = 1
+
+
+def save_bvh(path, bvh: BVH) -> None:
+    """Write a BVH to ``path`` (compressed npz)."""
+    np.savez_compressed(
+        path,
+        __format__=np.int64(FORMAT_VERSION),
+        depth=np.int64(bvh.depth),
+        leaf_size=np.int64(bvh.leaf_size),
+        **{name: getattr(bvh, name) for name in _ARRAYS},
+    )
+
+
+def load_bvh(path) -> BVH:
+    """Read a BVH written by :func:`save_bvh`."""
+    with np.load(path) as data:
+        if "__format__" not in data:
+            raise ValueError(f"{path}: not a saved BVH archive")
+        version = int(data["__format__"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported BVH format version {version} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        kwargs = {name: data[name] for name in _ARRAYS}
+        return BVH(
+            depth=int(data["depth"]),
+            leaf_size=int(data["leaf_size"]),
+            **kwargs,
+        )

@@ -1,0 +1,287 @@
+"""Batched BVH traversal — the simulated RT-core.
+
+Execution model. Rays traverse autonomously on the RT cores (one stack
+pop per ray per round), while SIMT costs are charged at *warp*
+granularity: a warp (32 consecutive launch indices) stays busy until
+its slowest lane finishes, so
+
+``warp_traversal_steps = Σ_warps max(per-lane pops)``
+``warp_is_steps        = Σ_warps max(per-lane IS calls)``
+
+— the classic divergence penalty: incoherent warps mix short and long
+rays and pay for the longest, coherent warps retire together.
+
+Memory. Every node pop and leaf-primitive test fetches a record; the
+optional ``tracer`` (the sampled cache simulator) observes the access
+stream of one SM's worth of contiguous warps, with per-warp
+per-iteration deduplication standing in for intra-warp coalescing.
+``node_transactions``/``prim_transactions`` report the *uncoalesced*
+fetch totals as a tracer-free fallback.
+
+The intersection shader is a callback ``hit_handler(ray_ids, prim_ids)``
+invoked once per round with every (ray, primitive) pair whose
+*primitive* AABB the ray intersects (Fig. 1b: the IS shader is skipped
+for primitives whose AABBs the ray misses — relevant for leaves holding
+several primitives). It may return ray ids to terminate (the Any-Hit
+path used when K neighbors are found).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bvh.node import BVH
+from repro.geometry.aabb import ray_aabb_intersect
+
+
+def _warp_max(values: np.ndarray, warp_size: int) -> np.ndarray:
+    """Per-warp max of a per-ray array (last warp may be partial)."""
+    n = len(values)
+    if n == 0:
+        return np.zeros(0, dtype=values.dtype)
+    n_warps = (n + warp_size - 1) // warp_size
+    padded = np.zeros(n_warps * warp_size, dtype=values.dtype)
+    padded[:n] = values
+    return padded.reshape(n_warps, warp_size).max(axis=1)
+
+
+@dataclass
+class TraceResult:
+    """Counters produced by one :func:`trace_batch` launch."""
+
+    steps: np.ndarray               # (R,) node pops per ray
+    is_calls: np.ndarray            # (R,) IS shader calls per ray
+    prim_tests_per_ray: np.ndarray  # (R,) leaf primitive-AABB tests per ray
+    iterations: int                 # rounds executed
+    warp_traversal_steps: int       # Σ warps max per-lane pops
+    warp_is_steps: int              # Σ warps max per-lane IS calls
+    prim_test_warp_steps: int       # Σ warps max per-lane prim tests
+    node_transactions: int          # uncoalesced node fetches
+    prim_transactions: int          # uncoalesced primitive fetches
+    n_rays: int
+    warp_size: int
+    per_warp_steps: np.ndarray = field(default=None)  # (W,) busy rounds
+
+    @property
+    def total_steps(self) -> int:
+        return int(self.steps.sum())
+
+    @property
+    def total_is_calls(self) -> int:
+        return int(self.is_calls.sum())
+
+    @property
+    def prim_tests(self) -> int:
+        return int(self.prim_tests_per_ray.sum())
+
+    @property
+    def n_warps(self) -> int:
+        return (self.n_rays + self.warp_size - 1) // self.warp_size
+
+    @property
+    def simd_efficiency(self) -> float:
+        """Active traversal lanes / (warp_size × busy warp steps)."""
+        if self.warp_traversal_steps == 0:
+            return 1.0
+        return self.total_steps / (self.warp_size * self.warp_traversal_steps)
+
+    @property
+    def is_simd_efficiency(self) -> float:
+        """Active IS lanes / (warp_size × busy IS warp steps)."""
+        if self.warp_is_steps == 0:
+            return 1.0
+        return self.total_is_calls / (self.warp_size * self.warp_is_steps)
+
+    def merge(self, other: "TraceResult") -> "TraceResult":
+        """Aggregate counters of two launches (used by partitioned search)."""
+        return TraceResult(
+            steps=np.concatenate([self.steps, other.steps]),
+            is_calls=np.concatenate([self.is_calls, other.is_calls]),
+            prim_tests_per_ray=np.concatenate(
+                [self.prim_tests_per_ray, other.prim_tests_per_ray]
+            ),
+            iterations=self.iterations + other.iterations,
+            warp_traversal_steps=self.warp_traversal_steps + other.warp_traversal_steps,
+            warp_is_steps=self.warp_is_steps + other.warp_is_steps,
+            prim_test_warp_steps=self.prim_test_warp_steps + other.prim_test_warp_steps,
+            node_transactions=self.node_transactions + other.node_transactions,
+            prim_transactions=self.prim_transactions + other.prim_transactions,
+            n_rays=self.n_rays + other.n_rays,
+            warp_size=self.warp_size,
+            per_warp_steps=None
+            if self.per_warp_steps is None or other.per_warp_steps is None
+            else np.concatenate([self.per_warp_steps, other.per_warp_steps]),
+        )
+
+
+def trace_batch(
+    bvh: BVH,
+    origins: np.ndarray,
+    directions: np.ndarray,
+    t_min: float,
+    t_max: float,
+    hit_handler,
+    warp_size: int = 32,
+    tracer=None,
+    max_iterations: int | None = None,
+) -> TraceResult:
+    """Trace a batch of rays through ``bvh``.
+
+    Parameters
+    ----------
+    bvh:
+        The acceleration structure.
+    origins, directions:
+        ``(R, 3)`` rays in *launch order* (warp w = rays 32w .. 32w+31).
+    t_min, t_max:
+        Shared ray segment (RTNN: ``[0, 1e-16]``).
+    hit_handler:
+        Callable ``(ray_ids, prim_ids) -> terminated_ray_ids | None``.
+        ``prim_ids`` are original primitive indices. Returned rays stop
+        traversing immediately (Any-Hit termination).
+    tracer:
+        Optional memory tracer with ``on_node_access(it, ray_ids,
+        node_ids)`` / ``on_prim_access(it, ray_ids, prim_ids)`` hooks
+        (the sampled cache simulator plugs in here).
+    max_iterations:
+        Safety valve; raises ``RuntimeError`` if exceeded.
+
+    Returns
+    -------
+    TraceResult
+    """
+    origins = np.ascontiguousarray(origins, dtype=np.float64)
+    directions = np.ascontiguousarray(directions, dtype=np.float64)
+    n_rays = len(origins)
+    zeros = np.zeros(n_rays, dtype=np.int64)
+    if n_rays == 0:
+        return TraceResult(
+            steps=zeros,
+            is_calls=zeros.copy(),
+            prim_tests_per_ray=zeros.copy(),
+            iterations=0,
+            warp_traversal_steps=0,
+            warp_is_steps=0,
+            prim_test_warp_steps=0,
+            node_transactions=0,
+            prim_transactions=0,
+            n_rays=0,
+            warp_size=warp_size,
+            per_warp_steps=np.zeros(0, dtype=np.int64),
+        )
+
+    stack_width = bvh.depth + 2
+    stack = np.zeros((n_rays, stack_width), dtype=np.int64)
+    sp = np.ones(n_rays, dtype=np.int64)  # root pre-pushed at slot 0
+    alive = np.ones(n_rays, dtype=bool)
+
+    steps = np.zeros(n_rays, dtype=np.int64)
+    is_calls = np.zeros(n_rays, dtype=np.int64)
+    prim_tests = np.zeros(n_rays, dtype=np.int64)
+
+    node_left = bvh.node_left
+    node_right = bvh.node_right
+    node_start = bvh.node_start
+    node_end = bvh.node_end
+    node_lo = bvh.node_lo
+    node_hi = bvh.node_hi
+    prim_order = bvh.prim_order
+    prim_lo = bvh.prim_lo
+    prim_hi = bvh.prim_hi
+    max_leaf = bvh.leaf_size
+    test_prims = max_leaf > 1  # leaf bound == prim bound when 1
+
+    if max_iterations is None:
+        max_iterations = bvh.n_nodes + stack_width + 1
+
+    # Active-set compaction: rays leave the set permanently (a ray pops
+    # every round while its stack is non-empty, so activity is one
+    # contiguous prefix of rounds).
+    act = np.arange(n_rays, dtype=np.int64)
+    iteration = 0
+    while len(act):
+        if iteration >= max_iterations:
+            raise RuntimeError(
+                f"traversal exceeded {max_iterations} iterations; "
+                "possible cycle in BVH topology"
+            )
+
+        # --- pop (RT core) ---------------------------------------------
+        sp[act] -= 1
+        nodes = stack[act, sp[act]]
+        steps[act] += 1
+        if tracer is not None:
+            tracer.on_node_access(iteration, act, nodes)
+
+        # --- ray-AABB test ----------------------------------------------
+        hit = ray_aabb_intersect(
+            origins[act], directions[act], t_min, t_max,
+            node_lo[nodes], node_hi[nodes],
+        )
+        hit_nodes = nodes[hit]
+        hit_rays = act[hit]
+        internal = node_left[hit_nodes] >= 0
+
+        # --- push children of hit internal nodes -------------------------
+        pi = hit_rays[internal]
+        if len(pi):
+            if (sp[pi] + 2 > stack_width).any():
+                raise RuntimeError(
+                    "traversal stack overflow exceeded the tree depth; "
+                    "possible cycle in BVH topology"
+                )
+            ni = hit_nodes[internal]
+            stack[pi, sp[pi]] = node_right[ni]
+            sp[pi] += 1
+            stack[pi, sp[pi]] = node_left[ni]
+            sp[pi] += 1
+
+        # --- leaf handling ------------------------------------------------
+        leaf_rays = hit_rays[~internal]
+        leaf_nodes = hit_nodes[~internal]
+        if len(leaf_rays):
+            starts = node_start[leaf_nodes]
+            counts = node_end[leaf_nodes] - starts
+            for j in range(max_leaf):
+                sel = (counts > j) & alive[leaf_rays]
+                if not sel.any():
+                    break
+                r = leaf_rays[sel]
+                prims = prim_order[starts[sel] + j]
+                if tracer is not None:
+                    tracer.on_prim_access(iteration, r, prims)
+                if test_prims:
+                    prim_tests[r] += 1
+                    inside = ray_aabb_intersect(
+                        origins[r], directions[r], t_min, t_max,
+                        prim_lo[prims], prim_hi[prims],
+                    )
+                    r = r[inside]
+                    prims = prims[inside]
+                    if len(r) == 0:
+                        continue
+                is_calls[r] += 1
+                term = hit_handler(r, prims)
+                if term is not None and len(term):
+                    alive[np.asarray(term, dtype=np.int64)] = False
+
+        act = act[alive[act] & (sp[act] > 0)]
+        iteration += 1
+
+    per_warp_steps = _warp_max(steps, warp_size)
+    return TraceResult(
+        steps=steps,
+        is_calls=is_calls,
+        prim_tests_per_ray=prim_tests,
+        iterations=iteration,
+        warp_traversal_steps=int(per_warp_steps.sum()),
+        warp_is_steps=int(_warp_max(is_calls, warp_size).sum()),
+        prim_test_warp_steps=int(_warp_max(prim_tests, warp_size).sum()),
+        node_transactions=int(steps.sum()),
+        prim_transactions=int(prim_tests.sum()) if test_prims else int(is_calls.sum()),
+        n_rays=n_rays,
+        warp_size=warp_size,
+        per_warp_steps=per_warp_steps,
+    )

@@ -1,0 +1,177 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    repro search      --dataset KITTI-12M --mode knn -k 8        # or --points file.ply
+    repro datasets    [--generate NAME --out cloud.ply]
+    repro experiments [--only fig11] [--scale 0.25]
+
+Installed as the ``repro`` console script; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core.engine import RTNNConfig, RTNNEngine
+from repro.datasets import DATASETS, load, read_ply, read_xyz, write_ply
+from repro.gpu.device import KNOWN_DEVICES, RTX_2080
+
+
+def _load_points(arg: str) -> np.ndarray:
+    if arg.endswith(".ply"):
+        return read_ply(arg)
+    if arg.endswith((".xyz", ".txt")):
+        return read_xyz(arg)
+    raise SystemExit(f"unsupported point file (use .ply/.xyz/.txt): {arg}")
+
+
+def _add_search(sub):
+    p = sub.add_parser("search", help="run a neighbor search")
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--points", help="point cloud file (.ply/.xyz)")
+    src.add_argument("--dataset", choices=sorted(DATASETS), help="registry dataset")
+    p.add_argument("--scale", type=float, default=1.0, help="registry dataset scale")
+    p.add_argument("--queries", help="query file (default: self-search)")
+    p.add_argument("--mode", choices=("knn", "range"), default="knn")
+    p.add_argument("-k", type=int, default=8, help="neighbor bound K")
+    p.add_argument("-r", "--radius", type=float, help="search radius "
+                   "(default: registry radius or scene-extent/100)")
+    p.add_argument("--device", choices=sorted(KNOWN_DEVICES), default=RTX_2080.name)
+    p.add_argument("--no-schedule", action="store_true")
+    p.add_argument("--no-partition", action="store_true")
+    p.add_argument("--no-bundle", action="store_true")
+    p.add_argument("--knn-aabb", choices=("conservative", "equiv_volume"),
+                   default="conservative")
+    p.add_argument("--out", help="write results to an .npz file")
+
+
+def _cmd_search(args) -> int:
+    if args.dataset:
+        points, spec = load(args.dataset, scale=args.scale)
+        radius = args.radius if args.radius else spec.radius
+    else:
+        points = _load_points(args.points)
+        radius = args.radius
+        if radius is None:
+            extent = float((points.max(axis=0) - points.min(axis=0)).max())
+            radius = extent / 100.0
+    queries = _load_points(args.queries) if args.queries else points
+
+    config = RTNNConfig(
+        schedule=not args.no_schedule,
+        partition=not args.no_partition,
+        bundle=not args.no_bundle,
+        knn_aabb=args.knn_aabb,
+    )
+    engine = RTNNEngine(points, device=KNOWN_DEVICES[args.device], config=config)
+
+    t0 = time.perf_counter()
+    if args.mode == "knn":
+        res = engine.knn_search(queries, k=args.k, radius=radius)
+    else:
+        res = engine.range_search(queries, radius=radius, k=args.k)
+    wall = time.perf_counter() - t0
+
+    rep = res.report
+    print(f"{args.mode} search: {len(points)} points, {len(queries)} queries, "
+          f"r={radius:g}, k={args.k}")
+    print(f"neighbors found: total {int(res.counts.sum())}, "
+          f"mean {res.counts.mean():.2f}/query")
+    print(f"modeled GPU time on {rep.device}: {rep.modeled_time * 1e3:.4f} ms "
+          f"(simulator wall: {wall:.2f} s)")
+    for cat, sec in rep.breakdown.as_dict().items():
+        print(f"  {cat:>7}: {sec * 1e6:10.2f} us")
+    print(f"partitions: {rep.n_partitions}, bundles: {rep.n_bundles}, "
+          f"IS calls: {rep.is_calls}")
+    if args.out:
+        np.savez_compressed(
+            args.out,
+            indices=res.indices,
+            counts=res.counts,
+            sq_distances=res.sq_distances,
+        )
+        print(f"results written to {args.out}")
+    return 0
+
+
+def _add_datasets(sub):
+    p = sub.add_parser("datasets", help="list or generate registry datasets")
+    p.add_argument("--generate", choices=sorted(DATASETS), help="dataset to write")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", help="output .ply path (required with --generate)")
+
+
+def _cmd_datasets(args) -> int:
+    if args.generate:
+        if not args.out:
+            raise SystemExit("--generate requires --out")
+        pts, spec = load(args.generate, scale=args.scale, seed=args.seed)
+        write_ply(args.out, pts)
+        print(f"wrote {len(pts)} points ({spec.family}) to {args.out}")
+        return 0
+    print(f"{'name':14s} {'family':7s} {'n_points':>9s} {'paper_n':>11s} {'radius':>8s}")
+    for spec in DATASETS.values():
+        print(
+            f"{spec.name:14s} {spec.family:7s} {spec.n_points:9d} "
+            f"{spec.paper_n_points:11d} {spec.radius:8g}"
+        )
+    return 0
+
+
+def _add_experiments(sub):
+    p = sub.add_parser("experiments", help="regenerate the paper's figures")
+    p.add_argument("--only", help="run one section, e.g. fig11 or fig05")
+    p.add_argument("--scale", type=float, help="dataset scale (sets REPRO_SCALE)")
+
+
+def _cmd_experiments(args) -> int:
+    import os
+
+    if args.scale is not None:
+        os.environ["REPRO_SCALE"] = str(args.scale)
+    from repro.experiments.__main__ import SECTIONS, main as run_all
+
+    if args.only:
+        matched = [
+            (title, fn) for title, fn in SECTIONS if args.only.lower() in title.lower()
+            or args.only.lower().replace("fig", "fig. ").replace("fig. .", "fig.")
+            in title.lower()
+        ]
+        if not matched:
+            names = ", ".join(t.split(" — ")[0] for t, _ in SECTIONS)
+            raise SystemExit(f"no section matches {args.only!r}; sections: {names}")
+        for title, fn in matched:
+            print(title)
+            fn()
+        return 0
+    run_all()
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RTNN reproduction: neighbor search as hardware ray tracing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_search(sub)
+    _add_datasets(sub)
+    _add_experiments(sub)
+    args = parser.parse_args(argv)
+    if args.command == "search":
+        return _cmd_search(args)
+    if args.command == "datasets":
+        return _cmd_datasets(args)
+    return _cmd_experiments(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

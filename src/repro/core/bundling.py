@@ -1,0 +1,219 @@
+"""Partition bundling (Section 5.2, Appendices A & C).
+
+Each partition needs its own BVH; when a partition is small, the build
+cost outweighs the traversal savings, so partitions should be merged
+("bundled"). The paper's cost model:
+
+* ``T_build = k1 * M``               (Eq. 3; M = AABBs per BVH)
+* KNN:   ``T_search = k2 * N * rho * S^3``  (Eq. 4; rho ≈ K / C^3)
+* range: ``T_search = k3 * N * K``          (Eq. 6; k3 depends on
+  whether the sphere test runs — Appendix A)
+
+The ``k`` constants are obtained by "offline profiling" — here by
+asking the simulated device's cost model directly, which mirrors the
+paper's profiling-based calibration and keeps the optimizer honest with
+respect to whatever constants the substrate uses.
+
+Optimal strategy (Appendix C theorem): with partitions sorted ascending
+by query count, the best ``M_o``-bundle strategy keeps the ``M_o - 1``
+partitions with the *most* queries unbundled and merges the rest into
+one bundle (whose AABB width is the max over its members). Scanning all
+``M_o`` is linear time. (The paper's prose description of the scan
+direction conflicts with its own theorem; we implement the theorem.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.partition import Partition
+from repro.gpu.costmodel import CostModel, IsKind
+
+
+@dataclass
+class Bundle:
+    """One launch group: queries searched against one shared BVH."""
+
+    query_ids: np.ndarray
+    aabb_width: float
+    sphere_test: bool
+    capped: bool
+    members: list[Partition] = field(default_factory=list)
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.query_ids)
+
+
+@dataclass
+class BundlingDecision:
+    """Chosen strategy plus the cost estimates that justified it."""
+
+    bundles: list[Bundle]
+    n_partitions: int
+    predicted_costs: list[float]   # predicted total cost per M_o (1-based)
+    chosen_m: int
+
+
+def _search_cost(
+    p: Partition,
+    width: float,
+    sphere_test: bool,
+    kind: str,
+    k: int,
+    cm: CostModel,
+    n_points: int,
+) -> float:
+    """Paper cost model for one partition launched at ``width``.
+
+    The per-query IS-call estimate ``rho * S^3`` (Eq. 4) extrapolates
+    the megacell-local density to the whole AABB; for a dense-spot
+    query merged into a wide bundle that extrapolation can exceed the
+    entire point set, so it is capped at ``n_points`` (a query cannot
+    trigger more IS calls than there are primitives).
+    """
+    n = p.n_queries
+    if kind == "knn":
+        k2 = cm.is_cost_per_call(IsKind.KNN)
+        per_query = min(p.density * width**3, float(n_points))
+        return k2 * n * per_query
+    # Range search terminates once K sphere hits are recorded, but on
+    # the sphere-testing path the AABB (a cube circumscribing the
+    # sphere) also triggers IS calls for the false-positive shell —
+    # cube/sphere volume ratio 6/pi more calls per query.
+    if sphere_test:
+        k3 = cm.is_cost_per_call(IsKind.RANGE_TEST)
+        calls = k * (6.0 / np.pi)
+    else:
+        k3 = cm.is_cost_per_call(IsKind.RANGE_FAST)
+        calls = float(k)
+    return k3 * n * calls
+
+
+def _merge(parts: list[Partition]) -> Bundle:
+    width = max(p.aabb_width for p in parts)
+    sphere_test = any(p.sphere_test for p in parts)
+    capped = any(p.capped for p in parts)
+    ids = np.concatenate([p.query_ids for p in parts])
+    return Bundle(
+        query_ids=ids,
+        aabb_width=width,
+        sphere_test=sphere_test,
+        capped=capped,
+        members=list(parts),
+    )
+
+
+def bundle_partitions(
+    partitions: list[Partition],
+    n_points: int,
+    k: int,
+    kind: str,
+    cost_model: CostModel,
+    enable: bool = True,
+) -> BundlingDecision:
+    """Choose the launch grouping minimizing modeled total time.
+
+    With ``enable=False`` every partition becomes its own bundle
+    (Listing 3's default strategy).
+    """
+    if not partitions:
+        raise ValueError("bundle_partitions needs at least one partition")
+    m = len(partitions)
+    if not enable or m == 1:
+        bundles = [_merge([p]) for p in partitions]
+        return BundlingDecision(
+            bundles=bundles, n_partitions=m, predicted_costs=[], chosen_m=m
+        )
+
+    k1 = cost_model.build_cost_per_aabb()
+    build_one = k1 * n_points
+
+    # The theorem sorts by query count; under the Fig. 16 inverse
+    # correlation that equals sorting by AABB width (Fig. 17 merges the
+    # *widest* partitions). We sort by width, which stays robust when
+    # the correlation is imperfect (e.g. a tiny ultra-dense partition
+    # with few queries must not be dragged into a wide bundle, where
+    # the Eq.-4 density extrapolation would explode its search cost).
+    by_width = sorted(partitions, key=lambda p: p.aabb_width)
+    costs: list[float] = []
+    for m_o in range(1, m + 1):
+        singles = by_width[: m_o - 1]
+        merged = by_width[m_o - 1 :]
+        width = max(p.aabb_width for p in merged)
+        test = any(p.sphere_test for p in merged)
+        total = m_o * build_one
+        total += sum(
+            _search_cost(p, width, test, kind, k, cost_model, n_points)
+            for p in merged
+        )
+        total += sum(
+            _search_cost(p, p.aabb_width, p.sphere_test, kind, k, cost_model, n_points)
+            for p in singles
+        )
+        costs.append(total)
+
+    chosen = int(np.argmin(costs)) + 1
+    singles = by_width[: chosen - 1]
+    merged = by_width[chosen - 1 :]
+    bundles = [_merge(merged)] + [_merge([p]) for p in singles]
+    bundles.sort(key=lambda b: b.aabb_width)
+    return BundlingDecision(
+        bundles=bundles,
+        n_partitions=m,
+        predicted_costs=costs,
+        chosen_m=chosen,
+    )
+
+
+def _set_partitions(items: list):
+    """Yield every partition of ``items`` into non-empty groups."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for smaller in _set_partitions(rest):
+        for i in range(len(smaller)):
+            yield smaller[:i] + [[first] + smaller[i]] + smaller[i + 1 :]
+        yield [[first]] + smaller
+
+
+def exhaustive_bundle(
+    partitions: list[Partition],
+    n_points: int,
+    k: int,
+    kind: str,
+    cost_model: CostModel,
+) -> tuple[list[Bundle], float]:
+    """True optimal bundling by enumerating *every* grouping.
+
+    Exponential (Bell number) — usable only for small partition counts;
+    exists to validate that the Appendix-C linear-scan strategy lands on
+    (or near) the optimum under the paper's cost model. Returns the best
+    grouping and its predicted cost.
+    """
+    if not partitions:
+        raise ValueError("exhaustive_bundle needs at least one partition")
+    if len(partitions) > 10:
+        raise ValueError("exhaustive enumeration is limited to <= 10 partitions")
+    k1 = cost_model.build_cost_per_aabb()
+    best_cost = np.inf
+    best_groups: list[list[Partition]] = [list(partitions)]
+    for grouping in _set_partitions(list(range(len(partitions)))):
+        total = len(grouping) * k1 * n_points
+        for group in grouping:
+            members = [partitions[i] for i in group]
+            width = max(p.aabb_width for p in members)
+            test = any(p.sphere_test for p in members)
+            total += sum(
+                _search_cost(p, width, test, kind, k, cost_model, n_points)
+                for p in members
+            )
+        if total < best_cost:
+            best_cost = total
+            best_groups = [[partitions[i] for i in g] for g in grouping]
+    bundles = [_merge(g) for g in best_groups]
+    bundles.sort(key=lambda b: b.aabb_width)
+    return bundles, float(best_cost)

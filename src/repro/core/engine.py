@@ -1,0 +1,312 @@
+"""The end-to-end RTNN engine.
+
+Orchestrates the whole paper pipeline —
+
+  data transfer -> [grid + megacells -> partitions -> bundling]
+                -> per-bundle BVH build -> [per-bundle scheduling]
+                -> per-bundle search launch -> result merge
+
+— while accounting every stage into the Fig. 12 breakdown categories
+(``data``, ``opt``, ``bvh``, ``fs``, ``search``). The three
+optimizations toggle independently, which is exactly the ablation of
+Fig. 13 (NoOpt / Sched / +Partition / +Bundle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.bundling import Bundle, bundle_partitions
+from repro.core.partition import compute_megacells, default_cell_size, make_partitions
+from repro.core.queues import KnnQueueBatch, RangeAccumulator
+from repro.core.results import RunReport, SearchResults
+from repro.core.scheduling import schedule_queries
+from repro.core.shaders import KnnShader, RangeShader
+from repro.geometry.morton import morton_order
+from repro.geometry.ray import RayBatch, DEFAULT_DIRECTION, SHORT_RAY_TMAX
+from repro.gpu.costmodel import IsKind
+from repro.gpu.device import DeviceSpec, RTX_2080
+from repro.metrics.breakdown import Breakdown
+from repro.optix.gas import build_gas
+from repro.optix.pipeline import Pipeline
+from repro.utils.validate import as_points, check_positive, check_positive_int
+
+#: modeled bytes per point shipped over PCIe (float32 x, y, z)
+POINT_BYTES = 12
+
+
+@dataclass(frozen=True)
+class RTNNConfig:
+    """Feature switches and tuning knobs of the engine.
+
+    Attributes
+    ----------
+    schedule:
+        Spatially-ordered query scheduling (Section 4).
+    partition:
+        Megacell-based query partitioning (Section 5.1).
+    bundle:
+        Cost-model partition bundling (Section 5.2); only meaningful
+        when ``partition`` is on.
+    knn_aabb:
+        ``"conservative"`` (exact) or ``"equiv_volume"`` (the paper's
+        density heuristic) AABB sizing for uncapped KNN partitions.
+    approx_elide_sphere_test:
+        Section-8 approximation: skip Step 2 everywhere; returned range
+        neighbors are then only guaranteed within ``sqrt(3) * r``.
+    cell_div:
+        Megacell grid granularity: ~``cell_div`` growth levels fit in
+        the sphere bound.
+    max_grid_cells:
+        Memory cap for the partitioning grid.
+    cache_sim:
+        Run the sampled cache simulation on every launch.
+    t_max:
+        Short-ray segment end (Section 3.1).
+    leaf_size:
+        Primitives per BVH leaf. IS-call counts are identical for any
+        value (per-primitive AABB tests gate the shader); larger leaves
+        trade per-node pops for in-leaf tests, like hardware wide nodes.
+    aabb_shrink:
+        Section-8 approximation: scale uncapped partitions' AABB widths
+        below the exact requirement (< 1 trades recall for speed).
+    """
+
+    schedule: bool = True
+    partition: bool = True
+    bundle: bool = True
+    knn_aabb: str = "conservative"
+    approx_elide_sphere_test: bool = False
+    cell_div: int = 16
+    max_grid_cells: int = 1 << 24
+    cache_sim: bool = True
+    t_max: float = SHORT_RAY_TMAX
+    leaf_size: int = 4
+    aabb_shrink: float = 1.0
+
+
+#: named ablation variants of Fig. 13
+VARIANTS: dict[str, RTNNConfig] = {
+    "noopt": RTNNConfig(schedule=False, partition=False, bundle=False),
+    "sched": RTNNConfig(schedule=True, partition=False, bundle=False),
+    "sched+part": RTNNConfig(schedule=True, partition=True, bundle=False),
+    "sched+part+bundle": RTNNConfig(schedule=True, partition=True, bundle=True),
+}
+
+
+class RTNNEngine:
+    """RTNN neighbor search over a fixed point set on one device."""
+
+    def __init__(
+        self,
+        points,
+        device: DeviceSpec = RTX_2080,
+        config: RTNNConfig | None = None,
+    ):
+        self.points = as_points(points, "points")
+        self.device = device
+        self.config = config or RTNNConfig()
+        self.pipeline = Pipeline(device=device, cache_sim=self.config.cache_sim)
+        self.cost_model = self.pipeline.cost_model
+        # All per-partition BVHs share the same Morton order (the AABB
+        # centers are always the points); computing it once makes the
+        # repeated builds cheap in the simulator too.
+        self._point_order = morton_order(self.points)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def range_search(self, queries, radius: float, k: int) -> SearchResults:
+        """All neighbors within ``radius``, at most ``k`` per query."""
+        return self._run("range", queries, radius, k)
+
+    def knn_search(self, queries, k: int, radius: float) -> SearchResults:
+        """The ``k`` nearest neighbors within ``radius`` per query."""
+        return self._run("knn", queries, radius, k)
+
+    # ------------------------------------------------------------------
+    # pipeline
+    # ------------------------------------------------------------------
+    def _make_bundles(self, kind, queries, radius, k, breakdown):
+        cfg = self.config
+        n_q = len(queries)
+        if cfg.partition:
+            mc = compute_megacells(
+                self.points,
+                queries,
+                radius,
+                k,
+                cell_size=default_cell_size(radius, cfg.cell_div),
+                max_grid_cells=cfg.max_grid_cells,
+            )
+            breakdown.opt += self.cost_model.grid_build_time(len(self.points))
+            breakdown.opt += self.cost_model.megacell_time(mc.total_growth_steps)
+            partitions = make_partitions(
+                mc, kind, radius, k, knn_aabb=cfg.knn_aabb,
+                shrink=cfg.aabb_shrink,
+            )
+            decision = bundle_partitions(
+                partitions,
+                n_points=len(self.points),
+                k=k,
+                kind=kind,
+                cost_model=self.cost_model,
+                enable=cfg.bundle,
+            )
+            return decision.bundles, decision.n_partitions, mc
+        single = Bundle(
+            query_ids=np.arange(n_q, dtype=np.int64),
+            aabb_width=2.0 * radius,
+            sphere_test=True,
+            capped=True,
+            members=[],
+        )
+        return [single], 1, None
+
+    def _run(self, kind: str, queries, radius: float, k: int) -> SearchResults:
+        queries = as_points(queries, "queries")
+        radius = check_positive(radius, "radius")
+        k = check_positive_int(k, "k")
+        cfg = self.config
+        n_q = len(queries)
+
+        breakdown = Breakdown()
+        breakdown.data += self.cost_model.transfer_time(
+            (len(self.points) + n_q) * POINT_BYTES
+        )
+
+        if kind == "knn":
+            acc = KnnQueueBatch(n_q, k, radius)
+        else:
+            acc = RangeAccumulator(n_q, k)
+
+        if n_q == 0:
+            idx, counts, d2 = (
+                (acc.finalize()) if kind == "knn" else (acc.idx, acc.count, acc.d2)
+            )
+            report = RunReport(breakdown=breakdown, device=self.device.name)
+            return SearchResults(idx, counts, d2, report)
+
+        bundles, n_partitions, _ = self._make_bundles(
+            kind, queries, radius, k, breakdown
+        )
+
+        # One GAS per distinct AABB width across bundles.
+        gases: dict[float, object] = {}
+
+        def gas_for(width: float):
+            if width not in gases:
+                gases[width] = build_gas(
+                    self.points,
+                    width / 2.0,
+                    self.cost_model,
+                    leaf_size=cfg.leaf_size,
+                    order=self._point_order,
+                )
+                breakdown.bvh += gases[width].build_time
+            return gases[width]
+
+        # Scheduling is global (Listing 2): one truncated FS launch over
+        # all queries against the largest bundle's BVH and one Morton
+        # sort; every bundle then launches its queries in that order.
+        global_rank = None
+        if cfg.schedule:
+            # The widest bundle's BVH gives the cheapest first-hit
+            # pass: the truncated ray terminates at its first leaf hit,
+            # which arrives soonest when leaves are fat, and any
+            # enclosing AABB works as a spatial hint (Section 4's
+            # "loose definition of proximity").
+            widest = max(bundles, key=lambda b: b.aabb_width)
+            sched = schedule_queries(self.pipeline, gas_for(widest.aabb_width), queries)
+            breakdown.fs += sched.fs_time
+            breakdown.opt += sched.sort_time
+            global_rank = np.empty(n_q, dtype=np.int64)
+            global_rank[sched.order] = np.arange(n_q)
+
+        total_is = 0
+        total_steps = 0
+        hit_w = 0.0
+        l1_acc = 0.0
+        l2_acc = 0.0
+        occ_w = 0.0
+        occ_acc = 0.0
+        launches = []
+
+        for bundle in bundles:
+            gas = gas_for(bundle.aabb_width)
+
+            if global_rank is not None:
+                launch_ids = bundle.query_ids[
+                    np.argsort(global_rank[bundle.query_ids], kind="stable")
+                ]
+            else:
+                launch_ids = bundle.query_ids
+
+            origins = queries[launch_ids]
+            rays = RayBatch(
+                origins=origins,
+                directions=np.broadcast_to(
+                    np.asarray(DEFAULT_DIRECTION), origins.shape
+                ).copy(),
+                t_min=0.0,
+                t_max=cfg.t_max,
+                query_ids=launch_ids,
+            )
+
+            if kind == "knn":
+                shader = KnnShader(self.points, origins, launch_ids, acc)
+                is_kind = IsKind.KNN
+            else:
+                sphere_test = bundle.sphere_test and not cfg.approx_elide_sphere_test
+                shader = RangeShader(
+                    self.points, origins, launch_ids, acc, radius,
+                    sphere_test=sphere_test,
+                )
+                is_kind = IsKind.RANGE_TEST if sphere_test else IsKind.RANGE_FAST
+
+            launch = self.pipeline.launch(gas, rays, shader, is_kind)
+            launches.append(launch)
+            breakdown.search += launch.modeled_time
+
+            total_is += launch.trace.total_is_calls
+            total_steps += launch.trace.total_steps
+            tx = launch.trace.node_transactions + launch.trace.prim_transactions
+            if launch.l1_hit_rate is not None and tx:
+                hit_w += tx
+                l1_acc += launch.l1_hit_rate * tx
+                l2_acc += launch.l2_hit_rate * tx
+            occ = self.cost_model.occupancy(launch.trace)
+            occ_w += launch.modeled_time
+            occ_acc += occ * launch.modeled_time
+
+        if kind == "knn":
+            idx, counts, d2 = acc.finalize()
+        else:
+            idx, counts, d2 = acc.idx, acc.count, acc.d2
+
+        report = RunReport(
+            breakdown=breakdown,
+            is_calls=total_is,
+            traversal_steps=total_steps,
+            n_partitions=n_partitions,
+            n_bundles=len(bundles),
+            n_bvh_builds=len(gases),
+            l1_hit_rate=(l1_acc / hit_w) if hit_w else None,
+            l2_hit_rate=(l2_acc / hit_w) if hit_w else None,
+            sm_occupancy=(occ_acc / occ_w) if occ_w else None,
+            device=self.device.name,
+            extras={
+                "launch_costs": [lc.cost.total for lc in launches],
+                "aabb_widths": [b.aabb_width for b in bundles],
+                "bundle_sizes": [b.n_queries for b in bundles],
+            },
+        )
+        return SearchResults(idx, counts, d2, report)
+
+    def with_config(self, **changes) -> "RTNNEngine":
+        """A copy of this engine with config fields replaced."""
+        return RTNNEngine(
+            self.points, device=self.device, config=replace(self.config, **changes)
+        )

@@ -1,0 +1,109 @@
+"""Vectorized per-query neighbor accumulators.
+
+Two flavors, matching the paper's two search types:
+
+* :class:`KnnQueueBatch` — a bounded priority queue per query (the KNN
+  IS shader "operates a priority queue"); keeps the K smallest
+  distances seen, radius-bounded.
+* :class:`RangeAccumulator` — an append-only bounded list per query
+  (range search records any neighbor within r until K are found, then
+  terminates the ray via Any-Hit).
+
+Both process *batches* of (query, candidate) pairs; within one batch a
+query may appear at most once (the lockstep traversal guarantees this:
+one IS call per ray per iteration), which keeps all updates free of
+scatter conflicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import empty_results
+
+
+class KnnQueueBatch:
+    """K-bounded max-queues over squared distance, one per query."""
+
+    def __init__(self, n_queries: int, k: int, radius: float):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.n_queries = n_queries
+        self.k = int(k)
+        self.r2 = float(radius) * float(radius)
+        self.idx, self.count, self.d2 = empty_results(n_queries, self.k)
+        # Worst (largest) distance currently held; only meaningful once a
+        # queue is full, +inf until then so any candidate is accepted.
+        self.worst = np.full(n_queries, np.inf, dtype=np.float64)
+
+    def insert(self, qids: np.ndarray, pids: np.ndarray, d2: np.ndarray) -> None:
+        """Offer one candidate per (unique) query id.
+
+        Candidates beyond the radius bound or not improving a full queue
+        are dropped; otherwise they displace the current worst entry.
+        """
+        keep = d2 <= self.r2
+        if not keep.any():
+            return
+        qids = qids[keep]
+        pids = pids[keep]
+        d2 = d2[keep]
+
+        counts = self.count[qids]
+        not_full = counts < self.k
+        if not_full.any():
+            q = qids[not_full]
+            slots = counts[not_full]
+            self.idx[q, slots] = pids[not_full]
+            self.d2[q, slots] = d2[not_full]
+            self.count[q] = slots + 1
+            newly_full = q[slots + 1 == self.k]
+            if len(newly_full):
+                self.worst[newly_full] = self.d2[newly_full].max(axis=1)
+
+        improving = (~not_full) & (d2 < self.worst[qids])
+        if improving.any():
+            q = qids[improving]
+            victim = np.argmax(self.d2[q], axis=1)
+            self.idx[q, victim] = pids[improving]
+            self.d2[q, victim] = d2[improving]
+            self.worst[q] = self.d2[q].max(axis=1)
+
+    def finalize(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (indices, counts, sq_distances) sorted by distance."""
+        order = np.argsort(self.d2, axis=1, kind="stable")
+        rows = np.arange(self.n_queries)[:, None]
+        return self.idx[rows, order], self.count.copy(), self.d2[rows, order]
+
+
+class RangeAccumulator:
+    """Append-only bounded neighbor lists, one per query.
+
+    Radius filtering is the *shader's* job (it may be elided on the
+    partitioned fast path); the accumulator stores whatever it is
+    offered.
+    """
+
+    def __init__(self, n_queries: int, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.n_queries = n_queries
+        self.k = int(k)
+        self.idx, self.count, self.d2 = empty_results(n_queries, self.k)
+
+    def insert(self, qids: np.ndarray, pids: np.ndarray, d2: np.ndarray) -> np.ndarray:
+        """Offer one candidate per (unique) query id.
+
+        Returns the query ids whose lists just filled up — their rays
+        should terminate (Any-Hit).
+        """
+        if len(qids) == 0:
+            return qids
+        counts = self.count[qids]
+        open_slot = counts < self.k
+        q = qids[open_slot]
+        slots = counts[open_slot]
+        self.idx[q, slots] = pids[open_slot]
+        self.d2[q, slots] = d2[open_slot]
+        self.count[q] = slots + 1
+        return q[slots + 1 == self.k]

@@ -1,0 +1,102 @@
+"""RTNN's intersection shaders (Listing 1 / Listing 2 / Section 5.1).
+
+Each shader receives batches of (ray, primitive) pairs from the
+traversal engine, converts launch-order ray ids to user query ids via
+the launch's ``query_ids`` map, and updates its accumulator. Distances
+are always *computed* here for result reporting; whether they *cost*
+anything is decided by the launch's :class:`~repro.gpu.costmodel.IsKind`
+(the partitioned range fast path models the sphere test as elided).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.queues import KnnQueueBatch, RangeAccumulator
+
+
+def _pair_sq_dist(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    d = a - b
+    return np.einsum("ij,ij->i", d, d)
+
+
+class RangeShader:
+    """Range-search IS: record neighbors within r, terminate at K.
+
+    ``sphere_test=False`` is the Section-5.1 fast path: every point
+    whose AABB encloses the query is accepted without the distance
+    check (valid when the AABB is inscribed in the r-sphere).
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        origins: np.ndarray,
+        query_ids: np.ndarray,
+        accumulator: RangeAccumulator,
+        radius: float,
+        sphere_test: bool = True,
+    ):
+        self.points = points
+        self.origins = origins
+        self.query_ids = query_ids
+        self.acc = accumulator
+        self.r2 = float(radius) * float(radius)
+        self.sphere_test = sphere_test
+        self._ray_of_q = np.full(accumulator.n_queries, -1, dtype=np.int64)
+
+    def __call__(self, ray_ids: np.ndarray, prim_ids: np.ndarray):
+        d2 = _pair_sq_dist(self.origins[ray_ids], self.points[prim_ids])
+        if self.sphere_test:
+            keep = d2 <= self.r2
+            if not keep.any():
+                return None
+            ray_ids, prim_ids, d2 = ray_ids[keep], prim_ids[keep], d2[keep]
+        qids = self.query_ids[ray_ids]
+        self._ray_of_q[qids] = ray_ids
+        full_q = self.acc.insert(qids, prim_ids, d2)
+        if len(full_q):
+            return self._ray_of_q[full_q]
+        return None
+
+
+class KnnShader:
+    """KNN IS: operate the bounded priority queue; never terminate early.
+
+    Finding the K *nearest* requires visiting every enclosing AABB, so
+    unlike range search there is no Any-Hit termination (Section 2.1).
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        origins: np.ndarray,
+        query_ids: np.ndarray,
+        queue: KnnQueueBatch,
+    ):
+        self.points = points
+        self.origins = origins
+        self.query_ids = query_ids
+        self.queue = queue
+
+    def __call__(self, ray_ids: np.ndarray, prim_ids: np.ndarray):
+        d2 = _pair_sq_dist(self.origins[ray_ids], self.points[prim_ids])
+        self.queue.insert(self.query_ids[ray_ids], prim_ids, d2)
+        return None
+
+
+class FirstHitShader:
+    """Scheduling pre-pass IS (Listing 2, K = 1).
+
+    Records the first leaf AABB (primitive) each ray lands in and
+    terminates the ray immediately — the "truncated ray tracing" that
+    makes query grouping nearly free.
+    """
+
+    def __init__(self, n_queries: int, query_ids: np.ndarray):
+        self.query_ids = query_ids
+        self.first_hit = np.full(n_queries, -1, dtype=np.int64)
+
+    def __call__(self, ray_ids: np.ndarray, prim_ids: np.ndarray):
+        self.first_hit[self.query_ids[ray_ids]] = prim_ids
+        return ray_ids

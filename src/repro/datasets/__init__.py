@@ -1,0 +1,36 @@
+"""Synthetic stand-ins for the paper's three dataset families.
+
+The paper evaluates on (1) KITTI LiDAR point clouds, (2) Stanford 3-D
+scans, (3) Millennium N-body galaxy catalogues — none of which ship
+with this repository. What the experiments actually depend on is each
+family's *distribution shape* (Section 6.1):
+
+* KITTI: mass on the ground plane, confined z-range;
+* scans: samples of a closed 2-D surface in a unit-cube scene;
+* N-body: hierarchically clustered (fractal) density.
+
+The generators here reproduce those shapes with seeded RNGs; the
+registry maps the paper's eight named inputs to CPU-simulator-scale
+versions while remembering the paper-scale point counts (used for OOM
+modeling).
+"""
+
+from repro.datasets.kitti import kitti_like
+from repro.datasets.scans import scan_like
+from repro.datasets.nbody import nbody_like
+from repro.datasets.registry import DATASETS, DatasetSpec, load, paper_inputs
+from repro.datasets.io import read_ply, read_xyz, write_ply, write_xyz
+
+__all__ = [
+    "kitti_like",
+    "scan_like",
+    "nbody_like",
+    "DATASETS",
+    "DatasetSpec",
+    "load",
+    "paper_inputs",
+    "read_ply",
+    "read_xyz",
+    "write_ply",
+    "write_xyz",
+]

@@ -1,0 +1,141 @@
+"""Point-cloud file I/O: PLY (ASCII + binary_little_endian) and XYZ.
+
+The synthetic generators cover the experiments; these loaders let users
+run the library on the actual Stanford scans, KITTI exports, or N-body
+catalogues if they have them. Only vertex positions are read — extra
+vertex properties (normals, colors) are parsed and skipped; non-vertex
+elements (faces) are ignored.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+#: PLY scalar type -> (struct char, byte size)
+_PLY_TYPES = {
+    "char": ("b", 1), "int8": ("b", 1),
+    "uchar": ("B", 1), "uint8": ("B", 1),
+    "short": ("h", 2), "int16": ("h", 2),
+    "ushort": ("H", 2), "uint16": ("H", 2),
+    "int": ("i", 4), "int32": ("i", 4),
+    "uint": ("I", 4), "uint32": ("I", 4),
+    "float": ("f", 4), "float32": ("f", 4),
+    "double": ("d", 8), "float64": ("d", 8),
+}
+
+
+def read_xyz(path) -> np.ndarray:
+    """Read a whitespace-separated ``x y z [...]`` text file."""
+    data = np.loadtxt(path, dtype=np.float64, ndmin=2)
+    if data.shape[1] < 3:
+        raise ValueError(f"{path}: expected at least 3 columns, got {data.shape[1]}")
+    return np.ascontiguousarray(data[:, :3])
+
+
+def write_xyz(path, points: np.ndarray) -> None:
+    """Write points as an ``x y z`` text file."""
+    points = np.asarray(points, dtype=np.float64)
+    np.savetxt(path, points, fmt="%.9g")
+
+
+def _parse_ply_header(fh):
+    """Parse the header; returns (format, vertex_count, vertex_props)."""
+    magic = fh.readline().strip()
+    if magic != b"ply":
+        raise ValueError("not a PLY file (missing 'ply' magic)")
+    fmt = None
+    elements: list[tuple[str, int]] = []
+    props: dict[str, list[tuple[str, str]]] = {}
+    current = None
+    while True:
+        line = fh.readline()
+        if not line:
+            raise ValueError("unexpected EOF in PLY header")
+        parts = line.decode("ascii", "replace").strip().split()
+        if not parts or parts[0] == "comment":
+            continue
+        if parts[0] == "format":
+            fmt = parts[1]
+        elif parts[0] == "element":
+            current = parts[1]
+            elements.append((current, int(parts[2])))
+            props[current] = []
+        elif parts[0] == "property":
+            if parts[1] == "list":
+                props[current].append(("list", " ".join(parts[2:])))
+            else:
+                props[current].append((parts[1], parts[2]))
+        elif parts[0] == "end_header":
+            break
+    if fmt not in ("ascii", "binary_little_endian"):
+        raise ValueError(f"unsupported PLY format: {fmt}")
+    return fmt, elements, props
+
+
+def read_ply(path) -> np.ndarray:
+    """Read vertex positions from a PLY file.
+
+    Supports ``ascii`` and ``binary_little_endian``; the vertex element
+    must carry ``x``, ``y``, ``z`` scalar properties (any numeric type).
+    """
+    path = Path(path)
+    with open(path, "rb") as fh:
+        fmt, elements, props = _parse_ply_header(fh)
+        if not elements or "vertex" not in dict(elements):
+            raise ValueError(f"{path}: no vertex element")
+        vprops = props["vertex"]
+        names = [t for _, t in vprops]
+        for axis in ("x", "y", "z"):
+            if axis not in names:
+                raise ValueError(f"{path}: vertex element lacks '{axis}'")
+        if any(t == "list" for t, _ in vprops):
+            raise ValueError(f"{path}: list properties on vertices unsupported")
+        n_vertex = dict(elements)["vertex"]
+        # Vertices must be the first element for streaming reads.
+        if elements[0][0] != "vertex":
+            raise ValueError(f"{path}: vertex element must come first")
+
+        cols = {name: i for i, (_, name) in enumerate(vprops)}
+        sel = [cols["x"], cols["y"], cols["z"]]
+
+        if fmt == "ascii":
+            rows = np.loadtxt(fh, dtype=np.float64, max_rows=n_vertex, ndmin=2)
+            if rows.shape[0] != n_vertex:
+                raise ValueError(f"{path}: truncated vertex data")
+            return np.ascontiguousarray(rows[:, sel])
+
+        fmt_chars = "".join(_PLY_TYPES[t][0] for t, _ in vprops)
+        record = struct.Struct("<" + fmt_chars)
+        raw = fh.read(record.size * n_vertex)
+        if len(raw) < record.size * n_vertex:
+            raise ValueError(f"{path}: truncated vertex data")
+        out = np.empty((n_vertex, 3), dtype=np.float64)
+        for i, rec in enumerate(record.iter_unpack(raw)):
+            out[i, 0] = rec[sel[0]]
+            out[i, 1] = rec[sel[1]]
+            out[i, 2] = rec[sel[2]]
+        return out
+
+
+def write_ply(path, points: np.ndarray, binary: bool = True) -> None:
+    """Write points as a PLY vertex cloud (float32 positions)."""
+    points = np.ascontiguousarray(np.asarray(points, dtype=np.float32))
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError(f"points must be (N, 3), got {points.shape}")
+    fmt = "binary_little_endian" if binary else "ascii"
+    header = (
+        f"ply\nformat {fmt} 1.0\n"
+        f"comment written by repro (RTNN reproduction)\n"
+        f"element vertex {len(points)}\n"
+        "property float x\nproperty float y\nproperty float z\n"
+        "end_header\n"
+    )
+    with open(path, "wb") as fh:
+        fh.write(header.encode("ascii"))
+        if binary:
+            fh.write(points.astype("<f4").tobytes())
+        else:
+            np.savetxt(fh, points, fmt="%.7g")

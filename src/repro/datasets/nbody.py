@@ -1,0 +1,84 @@
+"""Synthetic hierarchically-clustered point sets (Millennium stand-in).
+
+The paper stresses that N-body galaxy catalogues are *non-uniform* —
+"roughly hierarchical clustering (fractal)" on Mpc scales (footnote 3)
+— and shows that this non-uniformity makes RTNN's partitioning produce
+many partitions whose BVH-construction overhead can outweigh its
+benefit (Fig. 13b). The standard synthetic model for exactly this
+structure is the Soneira-Peebles hierarchy: starting from one sphere,
+recursively place ``eta`` child spheres of radius ``parent/lam`` at
+random positions inside the parent; the leaves of the recursion are the
+galaxies. The generator is level-synchronous and fully vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import default_rng
+
+
+def nbody_like(
+    n_points: int,
+    seed=0,
+    eta: int = 4,
+    lam: float = 1.9,
+    box_size: float = 500.0,
+    levels: int | None = None,
+) -> np.ndarray:
+    """Generate an ``(n_points, 3)`` Soneira-Peebles clustered set.
+
+    Parameters
+    ----------
+    n_points:
+        Output size (leaves are subsampled/topped up to hit it exactly).
+    eta:
+        Children per sphere; with ``lam`` sets the fractal dimension
+        ``D = log(eta) / log(lam)`` (~1.4 by default — strongly
+        clustered, like the galaxy correlation function).
+    lam:
+        Radius shrink factor per level.
+    box_size:
+        Scene edge (the Millennium run is 500 Mpc/h on a side).
+    levels:
+        Recursion depth; default is enough for ``eta^levels >= n_points``.
+    """
+    if n_points < 1:
+        raise ValueError(f"n_points must be >= 1, got {n_points}")
+    if eta < 2:
+        raise ValueError(f"eta must be >= 2, got {eta}")
+    if lam <= 1.0:
+        raise ValueError(f"lam must be > 1, got {lam}")
+    rng = default_rng(seed)
+
+    if levels is None:
+        levels = max(int(np.ceil(np.log(n_points) / np.log(eta))), 1)
+
+    # Several independent top-level spheres so the scene is not one blob
+    # (the Millennium volume holds many superclusters).
+    n_roots = 8
+    centers = rng.uniform(0.15 * box_size, 0.85 * box_size, size=(n_roots, 3))
+    radius = box_size * 0.15
+
+    for _ in range(levels):
+        n = len(centers)
+        # Random offsets inside the parent sphere for eta children each.
+        d = rng.normal(size=(n, eta, 3))
+        d /= np.linalg.norm(d, axis=2, keepdims=True)
+        rr = radius * rng.random((n, eta, 1)) ** (1.0 / 3.0)
+        centers = (centers[:, None, :] + d * rr).reshape(-1, 3)
+        radius /= lam
+        if len(centers) >= 4 * n_points:
+            break
+
+    # Final jitter at the smallest scale, then sample exactly n_points.
+    pts = centers + rng.normal(0, radius / 2.0, size=centers.shape)
+    if len(pts) >= n_points:
+        idx = rng.choice(len(pts), n_points, replace=False)
+        out = pts[idx]
+    else:
+        extra = rng.choice(len(pts), n_points - len(pts), replace=True)
+        out = np.concatenate([pts, pts[extra] + rng.normal(0, radius, (len(extra), 3))])
+    np.clip(out, 0.0, box_size, out=out)
+    rng.shuffle(out, axis=0)
+    return np.ascontiguousarray(out)

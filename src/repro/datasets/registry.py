@@ -1,0 +1,88 @@
+"""Named datasets mapping the paper's eight inputs to simulator scale.
+
+The paper's inputs run 0.36M-25M points on real GPUs; the Python-hosted
+simulator runs the same *distributions* at ~1000x smaller scale. Each
+spec remembers the paper-scale point count so memory-capacity modeling
+(the OOM annotations of Fig. 11) can be evaluated at paper scale, and
+carries a per-dataset search radius chosen so an r-sphere holds on
+the order of a thousand points — preserving the paper-scale ratio of
+ball population to neighbor bound K, which is what determines who wins
+between exhaustive grids and tree pruning.
+
+Scale can be adjusted globally: ``load(name, scale=2.0)`` doubles every
+input, and the benchmark harness reads ``REPRO_SCALE`` from the
+environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.kitti import kitti_like
+from repro.datasets.nbody import nbody_like
+from repro.datasets.scans import scan_like
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One named input of the paper's evaluation."""
+
+    name: str
+    family: str              # "kitti" | "scan" | "nbody"
+    n_points: int            # simulator-scale size
+    paper_n_points: int      # size used in the paper (for OOM modeling)
+    radius: float            # default search radius, scene units
+    scene_extent: float      # scene edge length (for grid OOM modeling)
+    generator: Callable[..., np.ndarray]
+    gen_kwargs: dict
+
+    def generate(self, scale: float = 1.0, seed=0) -> np.ndarray:
+        """Materialize the point set at ``scale`` x the registered size."""
+        n = max(int(self.n_points * scale), 16)
+        return self.generator(n, seed=seed, **self.gen_kwargs)
+
+
+def _spec(name, family, n, paper_n, radius, extent, gen, **kw) -> DatasetSpec:
+    return DatasetSpec(
+        name=name,
+        family=family,
+        n_points=n,
+        paper_n_points=paper_n,
+        radius=radius,
+        scene_extent=extent,
+        generator=gen,
+        gen_kwargs=kw,
+    )
+
+
+#: the eight inputs of Fig. 11, in paper order
+DATASETS: dict[str, DatasetSpec] = {
+    s.name: s
+    for s in [
+        _spec("KITTI-1M", "kitti", 20_000, 1_000_000, 8.0, 100.0, kitti_like),
+        _spec("KITTI-12M", "kitti", 60_000, 12_000_000, 6.0, 100.0, kitti_like),
+        _spec("KITTI-25M", "kitti", 100_000, 25_000_000, 6.0, 100.0, kitti_like),
+        _spec("Bunny-360K", "scan", 12_000, 360_000, 0.20, 1.0, scan_like, model="bunny"),
+        _spec("Dragon-3.6M", "scan", 50_000, 3_600_000, 0.15, 1.0, scan_like, model="dragon"),
+        _spec("Buddha-4.6M", "scan", 60_000, 4_600_000, 0.15, 1.0, scan_like, model="buddha"),
+        _spec("NBody-9M", "nbody", 55_000, 9_000_000, 40.0, 500.0, nbody_like),
+        _spec("NBody-10M", "nbody", 65_000, 10_000_000, 40.0, 500.0, nbody_like),
+    ]
+}
+
+
+def load(name: str, scale: float = 1.0, seed=0) -> tuple[np.ndarray, DatasetSpec]:
+    """Materialize a named dataset; returns ``(points, spec)``."""
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise ValueError(f"unknown dataset {name!r}; choose from {sorted(DATASETS)}") from None
+    return spec.generate(scale=scale, seed=seed), spec
+
+
+def paper_inputs() -> list[str]:
+    """The eight dataset names in the paper's presentation order."""
+    return list(DATASETS)

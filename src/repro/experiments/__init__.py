@@ -1,0 +1,27 @@
+"""Experiment runners — one module per figure of the paper.
+
+Every runner exposes ``run(...) -> list[dict]`` returning the rows of
+the corresponding figure/table, and a ``main()`` that pretty-prints
+them. The benchmark suite (``benchmarks/``) wraps these runners with
+pytest-benchmark; EXPERIMENTS.md records paper-vs-measured values.
+
+| module                | paper figure |
+|-----------------------|--------------|
+| fig05_coherence       | Fig. 5       |
+| fig06_microarch       | Fig. 6       |
+| fig07_aabb_time       | Fig. 7       |
+| fig08_is_calls        | Fig. 8       |
+| fig11_speedup         | Fig. 11a/b   |
+| fig12_breakdown       | Fig. 12a/b   |
+| fig13_ablation        | Fig. 13a/b   |
+| fig14_sensitivity     | Fig. 14a/b   |
+| fig15_bvh_build       | Fig. 15      |
+| fig16_partition_dist  | Fig. 16      |
+| micro_step_costs      | §3.1 / App. A cost ratios |
+| design_ablations      | this implementation's knobs (leaf width, grid granularity, KNN sizing) |
+| approx_ablation       | §8 approximate search |
+"""
+
+from repro.experiments.harness import format_table, env_scale
+
+__all__ = ["format_table", "env_scale"]

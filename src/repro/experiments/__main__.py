@@ -1,0 +1,62 @@
+"""Run every experiment and print the full paper-reproduction report.
+
+Usage::
+
+    python -m repro.experiments               # default (scaled) inputs
+    REPRO_SCALE=1.0 python -m repro.experiments   # full registered sizes
+
+Each section regenerates one figure of the paper; EXPERIMENTS.md
+records the expected shapes.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import (
+    approx_ablation,
+    design_ablations,
+    fig05_coherence,
+    fig06_microarch,
+    fig07_aabb_time,
+    fig08_is_calls,
+    fig11_speedup,
+    fig12_breakdown,
+    fig13_ablation,
+    fig14_sensitivity,
+    fig15_bvh_build,
+    fig16_partition_dist,
+    micro_step_costs,
+)
+
+SECTIONS = [
+    ("Fig. 5 — ordered vs random mapping", fig05_coherence.main),
+    ("Fig. 6 — microarchitectural behavior", fig06_microarch.main),
+    ("Fig. 7 — search time vs AABB width", fig07_aabb_time.main),
+    ("Fig. 8 — IS calls vs AABB width", fig08_is_calls.main),
+    ("Fig. 11 — speedups over baselines", fig11_speedup.main),
+    ("Fig. 12 — time distribution", fig12_breakdown.main),
+    ("Fig. 13 — optimization ablation", fig13_ablation.main),
+    ("Fig. 14 — r/K sensitivity", fig14_sensitivity.main),
+    ("Fig. 15 — BVH build linearity", fig15_bvh_build.main),
+    ("Fig. 16 — partition distribution", fig16_partition_dist.main),
+    ("§3.1/App. A — micro cost characterization", micro_step_costs.main),
+    ("§8 — approximate search", approx_ablation.main),
+    ("design ablations (this implementation)", design_ablations.main),
+]
+
+
+def main():
+    t0 = time.perf_counter()
+    for title, runner in SECTIONS:
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        t = time.perf_counter()
+        runner()
+        print(f"[{time.perf_counter() - t:.1f}s]\n")
+    print(f"all experiments done in {time.perf_counter() - t0:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""§8 — approximate neighbor search ablations.
+
+Two approximations the paper sketches as future work, implemented and
+measured here:
+
+* **Elide the sphere test** everywhere (treat AABB containment as
+  sphere containment): all returned range neighbors are then within
+  ``sqrt(3) * r`` of the query — the runner verifies the bound and
+  reports the speedup.
+* **Shrink the AABB** below the strictly-required width for KNN: fewer
+  neighbors may be returned (recall < 1) in exchange for speed; the
+  runner sweeps a shrink factor and reports recall vs speedup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import brute_force_knn
+from repro.core.engine import RTNNConfig, RTNNEngine
+from repro.datasets import load
+from repro.experiments.harness import env_scale, format_table
+from repro.gpu.device import DeviceSpec, RTX_2080
+
+
+def run_elide_sphere_test(
+    dataset: str = "Buddha-4.6M",
+    k: int = 32,
+    device: DeviceSpec = RTX_2080,
+    scale: float | None = None,
+) -> dict:
+    """Exact vs sphere-test-elided range search; verifies the sqrt(3)r bound."""
+    scale = env_scale() if scale is None else scale
+    points, spec = load(dataset, scale=scale)
+    r = spec.radius
+    # Section 8 frames this approximation for the base formulation,
+    # where every IS call performs the sphere test (partitioned range
+    # search already elides it on uncapped bundles), so both runs use
+    # the scheduling-only configuration.
+    exact = RTNNEngine(
+        points, device=device, config=RTNNConfig(partition=False, bundle=False)
+    ).range_search(points, r, k)
+    approx = RTNNEngine(
+        points,
+        device=device,
+        config=RTNNConfig(
+            partition=False, bundle=False, approx_elide_sphere_test=True
+        ),
+    ).range_search(points, r, k)
+
+    valid = approx.sq_distances[approx.indices >= 0]
+    bound = 3.0 * r * r * (1.0 + 1e-9)
+    return {
+        "dataset": dataset,
+        "exact_ms": exact.report.modeled_time * 1e3,
+        "approx_ms": approx.report.modeled_time * 1e3,
+        "speedup": exact.report.modeled_time / approx.report.modeled_time,
+        "max_dist_over_r": float(np.sqrt(valid.max() / (r * r))) if valid.size else 0.0,
+        "bound_holds": bool((valid <= bound).all()),
+    }
+
+
+def run_shrunk_aabb(
+    shrink_factors=(1.0, 0.8, 0.6, 0.4),
+    dataset: str = "Buddha-4.6M",
+    k: int = 8,
+    device: DeviceSpec = RTX_2080,
+    scale: float | None = None,
+) -> list[dict]:
+    """KNN recall vs speedup as the partition AABBs shrink.
+
+    ``shrink=1.0`` is the paper's equi-volume heuristic; smaller factors
+    scale the heuristic width down further (more aggressive
+    approximation).
+    """
+    scale = env_scale() if scale is None else scale
+    points, spec = load(dataset, scale=scale)
+    r = spec.radius
+    ref = brute_force_knn(points, points, k, r)
+    ref_sets = ref.neighbor_sets()
+    ref_total = sum(len(s) for s in ref_sets)
+
+    base_time = None
+    rows = []
+    for f in shrink_factors:
+        engine = RTNNEngine(
+            points,
+            device=device,
+            config=RTNNConfig(knn_aabb="equiv_volume", aabb_shrink=f),
+        )
+        res = engine.knn_search(points, k, r)
+        got_sets = res.neighbor_sets()
+        recovered = sum(len(g & s) for g, s in zip(got_sets, ref_sets))
+        t = res.report.modeled_time
+        if base_time is None:
+            base_time = t
+        rows.append(
+            {
+                "shrink": f,
+                "recall": recovered / max(ref_total, 1),
+                "modeled_ms": t * 1e3,
+                "speedup_vs_full": base_time / t,
+            }
+        )
+    return rows
+
+
+def main():
+    """Print this section's tables to stdout."""
+    print("§8a — elide sphere test (range search):")
+    print(format_table([run_elide_sphere_test()]))
+    print()
+    print("§8b — shrunk-AABB approximate KNN:")
+    print(format_table(run_shrunk_aabb()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Export experiment rows to CSV / JSON for plotting elsewhere."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+
+def _columns(rows: list[dict]) -> list[str]:
+    cols: list[str] = []
+    for r in rows:
+        for c in r:
+            if c not in cols:
+                cols.append(c)
+    return cols
+
+
+def write_csv(path, rows: list[dict]) -> None:
+    """Write experiment rows (list of dicts) as CSV."""
+    path = Path(path)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_columns(rows))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def write_json(path, rows: list[dict]) -> None:
+    """Write experiment rows as a JSON array."""
+    Path(path).write_text(json.dumps(rows, indent=2, default=float) + "\n")
+
+
+def read_rows(path) -> list[dict]:
+    """Read rows back from a JSON export."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,65 @@
+"""Fig. 7 — search time vs AABB width.
+
+Fixed query set, sweep the AABB width used to build the BVH (the paper
+sweeps 0.3-30 in KITTI's meter units) and measure the modeled search
+time. Expected: time grows with width, super-linearly at the top end
+(the AABB volume — and hence IS calls — grows cubically).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.queues import KnnQueueBatch
+from repro.core.shaders import KnnShader
+from repro.datasets import kitti_like
+from repro.experiments.harness import env_scale, format_table
+from repro.geometry.ray import RayBatch, DEFAULT_DIRECTION
+from repro.gpu.costmodel import IsKind
+from repro.gpu.device import DeviceSpec, RTX_2080
+from repro.optix import Pipeline, build_gas
+
+
+def run(
+    widths=(0.3, 1.0, 3.0, 10.0, 20.0, 30.0),
+    n: int = 10_000,
+    k: int = 8,
+    device: DeviceSpec = RTX_2080,
+    scale: float | None = None,
+) -> list[dict]:
+    """One row per AABB width: modeled search time + IS calls."""
+    scale = env_scale() if scale is None else scale
+    n = max(int(n * scale), 64)
+    points = kitti_like(n, seed=7)
+    queries = kitti_like(n, seed=13)
+    pipe = Pipeline(device=device)
+    rows = []
+    for w in widths:
+        gas = build_gas(points, w / 2.0, pipe.cost_model, leaf_size=4)
+        acc = KnnQueueBatch(len(queries), k, radius=w / 2.0)
+        shader = KnnShader(points, queries, np.arange(len(queries)), acc)
+        rays = RayBatch(
+            queries,
+            np.broadcast_to(np.asarray(DEFAULT_DIRECTION), queries.shape).copy(),
+        )
+        launch = pipe.launch(gas, rays, shader, IsKind.KNN)
+        rows.append(
+            {
+                "aabb_width": w,
+                "search_ms": launch.modeled_time * 1e3,
+                "is_calls": launch.trace.total_is_calls,
+                "traversal_steps": launch.trace.total_steps,
+            }
+        )
+    return rows
+
+
+def main():
+    """Print this figure's table to stdout."""
+    rows = run()
+    print("Fig. 7 — search time vs AABB width")
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

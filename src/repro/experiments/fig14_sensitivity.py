@@ -1,0 +1,97 @@
+"""Fig. 14 — sensitivity of the speedup to r and K (Buddha, RTX 2080).
+
+Two sweeps on the Buddha-like input:
+
+* range search speedup vs cuNSearch / PCL-Octree as r varies
+  (paper: rises then falls past r ~ 0.1 as the sphere covers the whole
+  unit cube and everyone terminates quickly);
+* speedup vs K (paper: grows with K, degrades at very large K where
+  the bundler gets overly aggressive).
+
+PCL-Octree joins the KNN sweep only at K = 1; FastRNN may be DNF at
+large r (it searches the full 2r AABB without partitioning).
+"""
+
+from __future__ import annotations
+
+from repro.baselines import CuNSearch, FRNN, FastRNN, PCLOctree
+from repro.core.engine import RTNNConfig, RTNNEngine
+from repro.datasets import load
+from repro.experiments.harness import DNF_RATIO, env_scale, format_table
+from repro.gpu.device import DeviceSpec, RTX_2080
+
+
+def _speedup(rtnn_t: float, base_t: float) -> str:
+    if base_t / rtnn_t > DNF_RATIO:
+        return "DNF"
+    return f"{base_t / rtnn_t:.2f}x"
+
+
+def run_radius_sweep(
+    radii=(0.05, 0.1, 0.2, 0.4),
+    dataset: str = "Buddha-4.6M",
+    k: int = 32,
+    device: DeviceSpec = RTX_2080,
+    scale: float | None = None,
+) -> list[dict]:
+    """Range-search speedups vs r (Fig. 14a)."""
+    scale = env_scale() if scale is None else scale
+    points, _ = load(dataset, scale=scale)
+    engine = RTNNEngine(points, device=device, config=RTNNConfig(knn_aabb="equiv_volume"))
+    cu = CuNSearch(points, device=device)
+    pcl = PCLOctree(points, device=device)
+    rows = []
+    for r in radii:
+        rt = engine.range_search(points, r, k).report.modeled_time
+        cu_t = cu.range_search(points, r, k).report.modeled_time
+        pcl_t = pcl.range_search(points, r, k).report.modeled_time
+        rows.append(
+            {
+                "radius": r,
+                "rtnn_ms": rt * 1e3,
+                "cunsearch_x": _speedup(rt, cu_t),
+                "pcloctree_x": _speedup(rt, pcl_t),
+            }
+        )
+    return rows
+
+
+def run_k_sweep(
+    ks=(1, 4, 16, 64, 128),
+    dataset: str = "Buddha-4.6M",
+    radius: float = 0.15,
+    device: DeviceSpec = RTX_2080,
+    scale: float | None = None,
+) -> list[dict]:
+    """KNN speedups vs K (Fig. 14b)."""
+    scale = env_scale() if scale is None else scale
+    points, _ = load(dataset, scale=scale)
+    engine = RTNNEngine(points, device=device, config=RTNNConfig(knn_aabb="equiv_volume"))
+    fr = FRNN(points, device=device)
+    fa = FastRNN(points, device=device)
+    pcl = PCLOctree(points, device=device)
+    rows = []
+    for k in ks:
+        rt = engine.knn_search(points, k, radius).report.modeled_time
+        row = {"k": k, "rtnn_ms": rt * 1e3}
+        row["frnn_x"] = _speedup(rt, fr.knn_search(points, k, radius).report.modeled_time)
+        row["fastrnn_x"] = _speedup(rt, fa.knn_search(points, k, radius).report.modeled_time)
+        if k == 1:
+            row["pcloctree_x"] = _speedup(
+                rt, pcl.knn_search(points, 1, radius).report.modeled_time
+            )
+        rows.append(row)
+    return rows
+
+
+def main():
+    """Print this figure's table to stdout."""
+    print("Fig. 14a — range-search speedup vs r (Buddha)")
+    print(format_table(run_radius_sweep()))
+    print()
+    print("Fig. 14b — KNN speedup vs K (Buddha)")
+    print(format_table(run_k_sweep()))
+
+
+if __name__ == "__main__":
+    main()

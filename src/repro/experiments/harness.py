@@ -1,0 +1,52 @@
+"""Shared experiment machinery: scaling, table formatting, annotations."""
+
+from __future__ import annotations
+
+import os
+
+#: baselines slower than this x RTNN are reported DNF, like the paper's
+#: "did not finish within the time that would have given RTNN a 1,000x
+#: speedup"
+DNF_RATIO = 1000.0
+
+
+def env_scale(default: float = 1.0) -> float:
+    """Global dataset scale factor, overridable via ``REPRO_SCALE``."""
+    try:
+        return float(os.environ.get("REPRO_SCALE", default))
+    except ValueError:
+        return default
+
+
+def format_table(rows: list[dict], floatfmt: str = "{:.4g}") -> str:
+    """Render rows (list of dicts sharing keys) as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    cols: list[str] = []
+    for r in rows:
+        for c in r:
+            if c not in cols:
+                cols.append(c)
+
+    def cell(r, c):
+        v = r.get(c, "")
+        return floatfmt.format(v) if isinstance(v, float) else str(v)
+
+    rendered = [[cell(r, c) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in rendered)) for i, c in enumerate(cols)
+    ]
+    out = ["  ".join(c.ljust(w) for c, w in zip(cols, widths))]
+    out.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        out.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def annotate_speedup(rtnn_time: float, baseline_time: float, oom: bool = False) -> str:
+    """Render a speedup cell with the paper's OOM/DNF annotations."""
+    if oom:
+        return "OOM"
+    if baseline_time / rtnn_time > DNF_RATIO:
+        return "DNF"
+    return f"{baseline_time / rtnn_time:.1f}x"

@@ -1,0 +1,98 @@
+"""§3.1 / Appendix A micro-characterization.
+
+Three claims checked:
+
+* Step 2 (an IS call) is ~an order of magnitude more expensive than
+  Step 1 (a traversal step) — read off the cost model's per-op costs;
+* the per-call cost ratios k1:k3 (build-per-AABB : range-IS-per-call)
+  sit at ~20:1 without the sphere test and ~2:1 with it;
+* short rays suppress Condition-1 false positives: sweeping t_max from
+  1e-16 up to scene scale inflates the IS-call count without changing
+  the result (the Q' scenario of Fig. 4c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.queues import KnnQueueBatch
+from repro.core.shaders import KnnShader
+from repro.experiments.harness import env_scale, format_table
+from repro.geometry.ray import RayBatch, DEFAULT_DIRECTION
+from repro.gpu.costmodel import CostModel, IsKind, RT_WARP_CYCLES, IS_WARP_CYCLES
+from repro.gpu.device import DeviceSpec, RTX_2080
+from repro.optix import Pipeline, build_gas
+from repro.utils.rng import default_rng
+
+
+def cost_ratios(device: DeviceSpec = RTX_2080) -> dict[str, float]:
+    """The paper's profiled constants, from the simulated device."""
+    cm = CostModel(device)
+    k1 = cm.build_cost_per_aabb()
+    out = {
+        "k1_ns": k1 * 1e9,
+        "k1_over_k3_fast": k1 / cm.is_cost_per_call(IsKind.RANGE_FAST),
+        "k1_over_k3_test": k1 / cm.is_cost_per_call(IsKind.RANGE_TEST),
+        "knn_over_range_test": (
+            cm.is_cost_per_call(IsKind.KNN) / cm.is_cost_per_call(IsKind.RANGE_TEST)
+        ),
+        "is_over_traversal": IS_WARP_CYCLES[IsKind.KNN] / RT_WARP_CYCLES,
+    }
+    return out
+
+
+def run_tmax_sweep(
+    t_maxes=(1e-16, 1e-3, 1e-1, 1.0),
+    n: int = 5_000,
+    radius: float = 0.05,
+    k: int = 8,
+    device: DeviceSpec = RTX_2080,
+    scale: float | None = None,
+) -> list[dict]:
+    """IS calls and results vs ray length (false-positive suppression)."""
+    scale = env_scale() if scale is None else scale
+    n = max(int(n * scale), 64)
+    rng = default_rng(3)
+    points = rng.random((n, 3))
+    queries = rng.random((n, 3))
+    pipe = Pipeline(device=device, cache_sim=False)
+    gas = build_gas(points, radius, pipe.cost_model, leaf_size=1)
+    rows = []
+    ref_sets = None
+    for t_max in t_maxes:
+        acc = KnnQueueBatch(len(queries), k, radius)
+        shader = KnnShader(points, queries, np.arange(len(queries)), acc)
+        rays = RayBatch(
+            queries,
+            np.broadcast_to(np.asarray(DEFAULT_DIRECTION), queries.shape).copy(),
+            t_min=0.0,
+            t_max=t_max,
+        )
+        launch = pipe.launch(gas, rays, shader, IsKind.KNN)
+        idx, counts, _ = acc.finalize()
+        sets = [frozenset(row[:c].tolist()) for row, c in zip(idx, counts)]
+        if ref_sets is None:
+            ref_sets = sets
+        rows.append(
+            {
+                "t_max": t_max,
+                "is_calls": launch.trace.total_is_calls,
+                "search_ms": launch.modeled_time * 1e3,
+                "results_match_short_ray": sets == ref_sets,
+            }
+        )
+    return rows
+
+
+def main():
+    """Print this section's tables to stdout."""
+    print("Per-op cost constants of the simulated device (cf. App. A):")
+    for k, v in cost_ratios().items():
+        print(f"  {k}: {v:.3g}")
+    print()
+    print("Short-ray false-positive suppression (t_max sweep):")
+    print(format_table(run_tmax_sweep()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+"""Uniform grids over 3-D point sets.
+
+The uniform grid is the workhorse substrate for three distinct roles:
+
+* the cuNSearch/FRNN baselines (grid-based exhaustive neighbor search);
+* RTNN's megacell computation (Section 5.1), which iteratively grows a
+  box of cells around each query;
+* point-density estimation for the bundling cost model.
+
+Binning uses a counting sort: points are bucketed by flattened cell id
+and stored contiguously, with ``cell_start/cell_count`` CSR-style
+offsets, so "all points in cell c" is a contiguous slice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.sat import SummedAreaTable3D
+
+
+class UniformGrid:
+    """A uniform 3-D grid binning a point set.
+
+    Parameters
+    ----------
+    points:
+        ``(N, 3)`` float64 point set.
+    cell_size:
+        Edge length of the (cubic) cells.
+    bounds:
+        Optional ``(lo, hi)`` pair; defaults to the tight scene bounds.
+        Points outside the bounds are clamped into boundary cells.
+    max_cells:
+        Safety cap on total cell count; the cell size is grown (resolution
+        shrunk) if the requested size would exceed it. This mirrors the
+        paper's "smallest cell size allowed by the GPU memory capacity".
+    """
+
+    def __init__(self, points, cell_size: float, bounds=None, max_cells: int = 64_000_000):
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ValueError(f"points must be (N, 3), got {points.shape}")
+        if len(points) == 0:
+            raise ValueError("cannot grid an empty point set")
+        cell_size = float(cell_size)
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+
+        if bounds is None:
+            lo = points.min(axis=0)
+            hi = points.max(axis=0)
+        else:
+            lo = np.asarray(bounds[0], dtype=np.float64)
+            hi = np.asarray(bounds[1], dtype=np.float64)
+        extent = np.maximum(hi - lo, 1e-12)
+
+        res = np.maximum(np.ceil(extent / cell_size).astype(np.int64), 1)
+        # Respect the memory cap by coarsening isotropically if needed.
+        while int(np.prod(res)) > max_cells:
+            cell_size *= 2.0
+            res = np.maximum(np.ceil(extent / cell_size).astype(np.int64), 1)
+
+        self.points = points
+        self.lo = lo
+        self.hi = hi
+        self.cell_size = cell_size
+        self.res = res  # (nx, ny, nz)
+        self.n_cells = int(np.prod(res))
+
+        idx3 = self.cell_coords(points)
+        flat = self.flatten(idx3)
+        order = np.argsort(flat, kind="stable")
+        self.point_order = order            # grid-sorted point indices
+        self.sorted_flat = flat[order]
+        counts = np.bincount(flat, minlength=self.n_cells)
+        self.cell_count = counts
+        self.cell_start = np.concatenate(([0], np.cumsum(counts)))[:-1]
+        self._sat = None
+
+    # ------------------------------------------------------------------
+    # coordinate transforms
+    # ------------------------------------------------------------------
+    def cell_coords(self, pts: np.ndarray) -> np.ndarray:
+        """Integer cell coordinates ``(M, 3)``; clamped into the grid."""
+        pts = np.asarray(pts, dtype=np.float64)
+        raw = np.floor((pts - self.lo) / self.cell_size).astype(np.int64)
+        return np.clip(raw, 0, self.res - 1)
+
+    def flatten(self, idx3: np.ndarray) -> np.ndarray:
+        """Flatten ``(M, 3)`` cell coordinates to linear cell ids."""
+        nx, ny, nz = self.res
+        return (idx3[:, 0] * ny + idx3[:, 1]) * nz + idx3[:, 2]
+
+    def cell_center(self, idx3: np.ndarray) -> np.ndarray:
+        """World-space centers of cells given integer coordinates."""
+        return self.lo + (np.asarray(idx3, dtype=np.float64) + 0.5) * self.cell_size
+
+    # ------------------------------------------------------------------
+    # contents
+    # ------------------------------------------------------------------
+    def points_in_cell(self, flat_id: int) -> np.ndarray:
+        """Original indices of the points binned into one cell."""
+        s = self.cell_start[flat_id]
+        return self.point_order[s : s + self.cell_count[flat_id]]
+
+    def gather_cells(self, flat_ids: np.ndarray) -> np.ndarray:
+        """Original point indices for a set of cells, concatenated."""
+        flat_ids = np.asarray(flat_ids, dtype=np.int64)
+        pieces = [self.points_in_cell(c) for c in flat_ids]
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(pieces)
+
+    def neighbor_cell_ids(self, center3: np.ndarray, reach: int = 1) -> np.ndarray:
+        """Flat ids of the ``(2*reach+1)^3`` cells around ``center3``.
+
+        Cells outside the grid are dropped (not wrapped).
+        """
+        center3 = np.asarray(center3, dtype=np.int64)
+        offs = np.arange(-reach, reach + 1, dtype=np.int64)
+        dx, dy, dz = np.meshgrid(offs, offs, offs, indexing="ij")
+        block = center3 + np.stack([dx.ravel(), dy.ravel(), dz.ravel()], axis=1)
+        ok = np.logical_and(block >= 0, block < self.res).all(axis=1)
+        return self.flatten(block[ok])
+
+    # ------------------------------------------------------------------
+    # aggregate counts
+    # ------------------------------------------------------------------
+    @property
+    def sat(self) -> SummedAreaTable3D:
+        """Lazily-built summed-area table over per-cell point counts."""
+        if self._sat is None:
+            dense = self.cell_count.reshape(tuple(self.res))
+            self._sat = SummedAreaTable3D(dense)
+        return self._sat
+
+    def count_in_boxes(self, lo3: np.ndarray, hi3: np.ndarray) -> np.ndarray:
+        """Points contained in inclusive cell-coordinate boxes, batched.
+
+        ``lo3``/``hi3`` are ``(M, 3)`` integer corner coordinates
+        (inclusive on both ends). This is an O(1)-per-box count via the
+        summed-area table — the kernel that makes megacell growth cheap.
+        """
+        return self.sat.box_sums(lo3, hi3)

@@ -1,0 +1,90 @@
+"""Ray batches.
+
+RTNN casts *short rays*: ``t in [0, 1e-16]`` with a fixed, arbitrary
+direction ``[1, 0, 0]`` (Section 3.1). The direction is irrelevant
+because intersections are decided by Condition 2 (origin inside AABB);
+the short segment suppresses Condition-1 false positives like the
+``Q'`` example in Fig. 4c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: The paper's default segment end for short rays.
+SHORT_RAY_TMAX = 1e-16
+
+#: The paper's fixed ray direction.
+DEFAULT_DIRECTION = (1.0, 0.0, 0.0)
+
+
+@dataclass
+class RayBatch:
+    """A batch of rays laid out as structure-of-arrays.
+
+    Attributes
+    ----------
+    origins:
+        ``(R, 3)`` float64 ray origins (query points in RTNN).
+    directions:
+        ``(R, 3)`` float64 directions.
+    t_min, t_max:
+        Shared scalar segment bounds for the whole batch (RTNN rays all
+        share ``[0, 1e-16]``).
+    query_ids:
+        ``(R,)`` int64 mapping ray index -> original query index. After
+        query scheduling the launch order differs from input order; this
+        array lets shaders scatter results back to user order.
+    """
+
+    origins: np.ndarray
+    directions: np.ndarray
+    t_min: float = 0.0
+    t_max: float = SHORT_RAY_TMAX
+    query_ids: np.ndarray = field(default=None)
+
+    def __post_init__(self):
+        self.origins = np.ascontiguousarray(self.origins, dtype=np.float64)
+        self.directions = np.ascontiguousarray(self.directions, dtype=np.float64)
+        if self.origins.ndim != 2 or self.origins.shape[1] != 3:
+            raise ValueError(f"origins must be (R, 3), got {self.origins.shape}")
+        if self.directions.shape != self.origins.shape:
+            raise ValueError("directions must match origins shape")
+        if self.query_ids is None:
+            self.query_ids = np.arange(len(self.origins), dtype=np.int64)
+        else:
+            self.query_ids = np.ascontiguousarray(self.query_ids, dtype=np.int64)
+            if self.query_ids.shape != (len(self.origins),):
+                raise ValueError("query_ids must be (R,)")
+        if not (self.t_min <= self.t_max):
+            raise ValueError(f"t_min ({self.t_min}) must be <= t_max ({self.t_max})")
+
+    def __len__(self) -> int:
+        return len(self.origins)
+
+    def permuted(self, order: np.ndarray) -> "RayBatch":
+        """Return a new batch with rays reordered by ``order``.
+
+        ``query_ids`` follows the permutation, preserving result routing.
+        """
+        order = np.asarray(order, dtype=np.int64)
+        return RayBatch(
+            origins=self.origins[order],
+            directions=self.directions[order],
+            t_min=self.t_min,
+            t_max=self.t_max,
+            query_ids=self.query_ids[order],
+        )
+
+
+def short_rays_from_queries(queries: np.ndarray, t_max: float = SHORT_RAY_TMAX) -> RayBatch:
+    """Build RTNN's short-ray batch: one ray per query, direction [1,0,0]."""
+    queries = np.ascontiguousarray(queries, dtype=np.float64)
+    if queries.ndim != 2 or queries.shape[1] != 3:
+        raise ValueError(f"queries must be (N, 3), got {queries.shape}")
+    directions = np.broadcast_to(
+        np.asarray(DEFAULT_DIRECTION, dtype=np.float64), queries.shape
+    ).copy()
+    return RayBatch(origins=queries, directions=directions, t_min=0.0, t_max=float(t_max))

@@ -1,0 +1,182 @@
+"""Sampled set-associative LRU cache hierarchy.
+
+The traversal engine reports, per lockstep iteration, which BVH nodes
+and primitives each ray touches. Simulating every access through an LRU
+hierarchy would dominate runtime, so — following the standard sampled
+micro-architectural simulation methodology (SMARTS-style) — we simulate
+a deterministic subset of warps exactly and report their hit rates as
+the estimate for the whole launch.
+
+Address mapping: BVH nodes and primitives live in separate regions of a
+flat address space; consecutive ids share cache lines (4 nodes or
+primitives per 128 B line), so spatially-coherent launch orders also
+enjoy spatial locality, exactly like the real memory layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 1.0
+
+
+class _SetAssociativeLRU:
+    """A single set-associative LRU cache over line addresses.
+
+    Each set is a plain Python list ordered LRU-first — membership and
+    reordering on <= a few dozen ways are C-speed list operations,
+    which keeps the per-access simulation cheap.
+    """
+
+    def __init__(self, n_sets: int, n_ways: int):
+        if n_sets < 1 or n_ways < 1:
+            raise ValueError("cache needs at least 1 set and 1 way")
+        self.n_sets = n_sets
+        self.n_ways = n_ways
+        self.sets: list[list[int]] = [[] for _ in range(n_sets)]
+        self.stats = CacheStats()
+
+    def access(self, line: int) -> bool:
+        """Access one line; returns True on hit. Misses allocate."""
+        s = self.sets[line % self.n_sets]
+        if line in s:
+            if s[-1] != line:
+                s.remove(line)
+                s.append(line)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(s) >= self.n_ways:
+            s.pop(0)
+        s.append(line)
+        return False
+
+
+class CacheHierarchy:
+    """L1 (per-SM, we simulate the one hosting the sampled warps) + L2."""
+
+    def __init__(
+        self,
+        l1_kb: int = 64,
+        l2_kb: int = 4096,
+        line_bytes: int = 128,
+        l1_ways: int = 4,
+        l2_ways: int = 16,
+        l2_share: float = 1.0 / 46.0,
+    ):
+        # The sampled warps represent one SM's slice of the machine, so
+        # they see one L1 and (approximately) their fair share of L2.
+        l1_lines = max((l1_kb * 1024) // line_bytes, l1_ways)
+        l2_lines = max(int((l2_kb * 1024 * l2_share)) // line_bytes, l2_ways)
+        self.line_bytes = line_bytes
+        self.l1 = _SetAssociativeLRU(max(l1_lines // l1_ways, 1), l1_ways)
+        self.l2 = _SetAssociativeLRU(max(l2_lines // l2_ways, 1), l2_ways)
+
+    def access(self, line: int) -> None:
+        if not self.l1.access(line):
+            self.l2.access(line)
+
+    @property
+    def l1_stats(self) -> CacheStats:
+        return self.l1.stats
+
+    @property
+    def l2_stats(self) -> CacheStats:
+        return self.l2.stats
+
+
+#: ids-per-line for nodes and primitives (128 B line / 32 B record)
+IDS_PER_LINE = 4
+#: offset separating primitive addresses from node addresses
+PRIM_REGION = 1 << 40
+
+
+class SampledCacheTracer:
+    """Memory tracer sampling one SM's worth of *contiguous* warps.
+
+    Plugs into :func:`repro.bvh.traverse.trace_batch` via the ``tracer``
+    argument. An SM hosts warps drawn from consecutive launch indices,
+    and ray-tracing kernels are register-heavy enough that only ~8 warps
+    are resident at once, so we simulate one contiguous block of
+    ``max_warps`` warps (taken from the middle of the launch to avoid
+    boundary effects) sharing one L1 and their slice of L2. Within an
+    iteration each sampled warp's accesses are deduplicated first
+    (coalescing) and then run through the hierarchy.
+    """
+
+    def __init__(
+        self,
+        n_rays: int,
+        warp_size: int = 32,
+        max_warps: int = 8,
+        l1_kb: int = 64,
+        l2_kb: int = 4096,
+        l2_share: float = 1.0 / 46.0,
+    ):
+        n_warps = max((n_rays + warp_size - 1) // warp_size, 1)
+        block = min(max_warps, n_warps)
+        start = (n_warps - block) // 2
+        self.sampled = np.arange(start, start + block, dtype=np.int64)
+        self._sampled_set = np.zeros(n_warps, dtype=bool)
+        self._sampled_set[self.sampled] = True
+        self.warp_size = warp_size
+        self.hier = CacheHierarchy(l1_kb=l1_kb, l2_kb=l2_kb, l2_share=l2_share)
+        self.sample_fraction = len(self.sampled) / n_warps
+
+    def _run(self, ray_ids: np.ndarray, lines: np.ndarray) -> None:
+        warps = ray_ids // self.warp_size
+        keep = self._sampled_set[warps]
+        if not keep.any():
+            return
+        # Every lane request goes through the hierarchy (requests are
+        # what profilers count): a coherent warp's lanes hit the line
+        # their first lane just brought in — coalescing and cache reuse
+        # both surface as hits, incoherent lanes as misses.
+        access = self.hier.access
+        for line in lines[keep].tolist():
+            access(line)
+
+    # -- tracer protocol -------------------------------------------------
+    def on_node_access(self, iteration: int, ray_ids: np.ndarray, node_ids: np.ndarray):
+        self._run(ray_ids, node_ids // IDS_PER_LINE)
+
+    def on_prim_access(self, iteration: int, ray_ids: np.ndarray, prim_ids: np.ndarray):
+        self._run(ray_ids, PRIM_REGION + prim_ids // IDS_PER_LINE)
+
+    # -- results ----------------------------------------------------------
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.hier.l1_stats.hit_rate
+
+    @property
+    def l2_hit_rate(self) -> float:
+        return self.hier.l2_stats.hit_rate
+
+    @property
+    def sampled_accesses(self) -> int:
+        """Coalesced accesses issued by the sampled block."""
+        return self.hier.l1_stats.accesses
+
+    def scaled_l1_misses(self) -> float:
+        """Launch-wide L1 miss estimate (sampled misses / sample fraction)."""
+        return self.hier.l1_stats.misses / self.sample_fraction
+
+    def scaled_l2_misses(self) -> float:
+        """Launch-wide L2 miss estimate."""
+        return self.hier.l2_stats.misses / self.sample_fraction

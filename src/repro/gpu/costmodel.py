@@ -1,0 +1,219 @@
+"""Counter -> modeled-GPU-time conversion.
+
+Wall-clock time of the Python simulator says nothing about GPU
+performance, so every experiment in this repository reports *modeled*
+time computed here from mechanistic counters. Constants below are
+expressed in per-SM (or per-RT-core) cycles so the two device specs
+scale each other naturally.
+
+Calibration. Absolute constants are anchored to the paper's published
+cost ratios (Appendix A):
+
+* ``k1 : k3`` — BVH-build-per-AABB : range-IS-per-call — is 2:1 when the
+  IS shader performs the sphere test and 20:1 when it can skip it;
+* the KNN IS call is 3-6x the (sphere-testing) range IS call (§6.3);
+* Step 1 (a traversal step) is "an order of magnitude" cheaper than
+  Step 2 (an IS call) (§3.1).
+
+The paper also quotes ``k1 : k2 = 1 : 15000`` for KNN (§5.2), which is
+mutually inconsistent with the Appendix-A ratios above by several orders
+of magnitude; we follow Appendix A and note the discrepancy in
+EXPERIMENTS.md. The bundling optimizer does not depend on the numbers
+chosen here anyway: it re-derives its ``k`` ratios by profiling this
+very cost model (mirroring the paper's offline profiling step).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.gpu.device import DeviceSpec, RTX_2080
+
+
+class IsKind(enum.Enum):
+    """Which intersection shader a launch runs (sets its cost)."""
+
+    FIRST_HIT = "first_hit"      # scheduling pre-pass: record id, terminate
+    RANGE_FAST = "range_fast"    # range search, sphere test elided
+    RANGE_TEST = "range_test"    # range search with sphere test
+    KNN = "knn"                  # sphere test + bounded priority queue
+
+
+#: cycles per IS warp-step on one SM
+IS_WARP_CYCLES = {
+    IsKind.FIRST_HIT: 32.0,
+    IsKind.RANGE_FAST: 64.0,
+    IsKind.RANGE_TEST: 320.0,
+    IsKind.KNN: 640.0,
+}
+
+#: cycles per traversal warp-step on one RT core (Step 1; ~10x cheaper
+#: per element than Step 2)
+RT_WARP_CYCLES = 24.0
+
+#: cycles per AABB per SM for BVH construction. Sets k1 ~ 0.7 ns/AABB
+#: on the RTX 2080 of ~0.3 ns/AABB, a few x the per-call range IS cost
+#: — the same order as the paper's Appendix-A k1:k3 ratios and
+#: consistent with the BVH share of the Fig. 12 time breakdowns.
+BUILD_CYCLES_PER_AABB = 24.0
+
+#: cycles per key per SM for the device radix sort (query reordering)
+SORT_CYCLES_PER_KEY = 10.0
+
+#: cycles per point per SM to bin points into the uniform grid
+GRID_CYCLES_PER_POINT = 12.0
+
+#: cycles per query per growth step for megacell computation (box
+#: counts via global-memory prefix sums, atomics on partition counters)
+MEGACELL_CYCLES_PER_STEP = 24.0
+
+#: bytes per memory transaction (cache line)
+LINE_BYTES = 128
+
+#: default hit rates assumed when a launch ran without a cache tracer
+DEFAULT_L1_HIT = 0.55
+DEFAULT_L2_HIT = 0.60
+
+
+@dataclass
+class LaunchCost:
+    """Modeled time breakdown of one ray-tracing launch."""
+
+    rt_time: float      # RT-core traversal
+    is_time: float      # SM shader execution
+    mem_time: float     # bandwidth-bound memory traffic
+    l1_hit_rate: float
+    l2_hit_rate: float
+
+    @property
+    def total(self) -> float:
+        return self.rt_time + self.is_time + self.mem_time
+
+    @property
+    def stall_fraction(self) -> float:
+        """Fraction of the launch spent waiting on memory."""
+        t = self.total
+        return self.mem_time / t if t > 0 else 0.0
+
+
+class CostModel:
+    """Convert hardware counters into modeled seconds for one device."""
+
+    def __init__(self, device: DeviceSpec = RTX_2080):
+        self.device = device
+
+    # ------------------------------------------------------------------
+    # primitive cost terms
+    # ------------------------------------------------------------------
+    def sm_time(self, warp_steps: float, cycles_per_step: float) -> float:
+        """Time for SM work distributed across all SMs."""
+        d = self.device
+        return warp_steps * cycles_per_step / (d.n_sms * d.clock_hz)
+
+    def rt_time(self, warp_steps: float) -> float:
+        """Time for traversal work distributed across all RT cores."""
+        d = self.device
+        return warp_steps * RT_WARP_CYCLES / (d.n_rt_cores * d.clock_hz)
+
+    def mem_time(
+        self, transactions: float, l1_hit: float, l2_hit: float
+    ) -> float:
+        """Bandwidth-bound time for the traffic missing each cache level."""
+        d = self.device
+        bytes_past_l1 = transactions * LINE_BYTES * (1.0 - l1_hit)
+        bytes_past_l2 = bytes_past_l1 * (1.0 - l2_hit)
+        return bytes_past_l1 / d.l2_bw + bytes_past_l2 / d.dram_bw
+
+    # ------------------------------------------------------------------
+    # launches
+    # ------------------------------------------------------------------
+    def launch_cost(
+        self,
+        trace,
+        kind: IsKind,
+        tracer=None,
+    ) -> LaunchCost:
+        """Cost of one ``trace_batch`` launch.
+
+        ``trace`` is a :class:`repro.bvh.traverse.TraceResult`. When a
+        :class:`~repro.gpu.cache.SampledCacheTracer` ran alongside the
+        launch, memory time is derived from its (scaled) per-level miss
+        counts — capturing the temporal locality coherent rays enjoy.
+        Without one, the exact same-iteration transaction counts with
+        the documented default hit rates are used instead.
+        """
+        rt = self.rt_time(
+            trace.warp_traversal_steps + trace.prim_test_warp_steps
+        )
+        is_t = self.sm_time(trace.warp_is_steps, IS_WARP_CYCLES[kind])
+        if tracer is not None and tracer.sampled_accesses > 0:
+            l1 = tracer.l1_hit_rate
+            l2 = tracer.l2_hit_rate
+            bytes_past_l1 = tracer.scaled_l1_misses() * LINE_BYTES
+            bytes_past_l2 = tracer.scaled_l2_misses() * LINE_BYTES
+            mem = bytes_past_l1 / self.device.l2_bw + bytes_past_l2 / self.device.dram_bw
+        else:
+            l1, l2 = DEFAULT_L1_HIT, DEFAULT_L2_HIT
+            mem = self.mem_time(
+                trace.node_transactions + trace.prim_transactions, l1, l2
+            )
+        return LaunchCost(
+            rt_time=rt,
+            is_time=is_t,
+            mem_time=mem,
+            l1_hit_rate=l1,
+            l2_hit_rate=l2,
+        )
+
+    def occupancy(self, trace) -> float:
+        """Modeled achieved occupancy.
+
+        Proxy: traversal SIMD efficiency — the fraction of lane slots
+        doing useful work while warps are resident. Incoherent launches
+        mix long and short rays in a warp, idling most lanes for most of
+        the warp's residency, which is what drags achieved occupancy
+        down in the paper's Fig. 6.
+        """
+        return float(trace.simd_efficiency)
+
+    # ------------------------------------------------------------------
+    # non-launch kernels
+    # ------------------------------------------------------------------
+    def bvh_build_time(self, n_aabbs: int) -> float:
+        """BVH construction: linear in AABB count (Eq. 3 / Fig. 15)."""
+        return self.sm_time(float(n_aabbs), BUILD_CYCLES_PER_AABB)
+
+    def build_cost_per_aabb(self) -> float:
+        """k1 of the paper's cost model for this device."""
+        return self.bvh_build_time(1)
+
+    def is_cost_per_call(self, kind: IsKind) -> float:
+        """Amortized per-IS-call cost of a search launch.
+
+        This is the paper's ``k2``/``k3``, obtained by "offline
+        profiling" of the simulated device. Profiled end-to-end, a
+        launch spends a large fraction of the bare shader cycles again
+        on traversal and memory traffic per IS call; the factor below
+        folds that in so the bundling optimizer compares launch costs,
+        not shader-only costs.
+        """
+        d = self.device
+        per_shader = IS_WARP_CYCLES[kind] / (d.warp_size * d.n_sms * d.clock_hz)
+        return per_shader * 1.5
+
+    def transfer_time(self, n_bytes: int) -> float:
+        """Host->device copy (device->host is modeled as hidden, §6.2)."""
+        return n_bytes / self.device.pcie_bw
+
+    def sort_time(self, n_keys: int) -> float:
+        """Device radix sort used by query scheduling."""
+        return self.sm_time(float(n_keys), SORT_CYCLES_PER_KEY)
+
+    def grid_build_time(self, n_points: int) -> float:
+        """Uniform-grid binning kernel (partitioning and grid baselines)."""
+        return self.sm_time(float(n_points), GRID_CYCLES_PER_POINT)
+
+    def megacell_time(self, total_growth_steps: int) -> float:
+        """Iterative megacell growth over all queries (Listing 3, l.1-5)."""
+        return self.sm_time(float(total_growth_steps), MEGACELL_CYCLES_PER_STEP)

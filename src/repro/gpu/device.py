@@ -1,0 +1,78 @@
+"""Device specifications for the simulated GPUs.
+
+Numbers follow the public Turing specs for the two boards the paper
+evaluates (Section 6.1). Only ratios between the two devices matter for
+reproducing the cross-device trend of Fig. 11a vs 11b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a simulated GPU.
+
+    Attributes
+    ----------
+    name: marketing name.
+    n_sms: streaming multiprocessors.
+    n_rt_cores: ray tracing cores (1 per SM on Turing).
+    n_cuda_cores: CUDA cores (64 per SM on Turing).
+    clock_hz: boost clock used to convert cycles to seconds.
+    mem_bytes: device memory capacity (drives OOM modeling).
+    dram_bw: DRAM bandwidth, bytes/s.
+    l2_bw: L2 bandwidth, bytes/s.
+    l1_kb: L1/shared memory per SM, KiB.
+    l2_kb: total L2, KiB.
+    pcie_bw: effective host->device copy bandwidth, bytes/s.
+    warp_size: SIMT width.
+    """
+
+    name: str
+    n_sms: int
+    n_rt_cores: int
+    n_cuda_cores: int
+    clock_hz: float
+    mem_bytes: int
+    dram_bw: float
+    l2_bw: float
+    l1_kb: int
+    l2_kb: int
+    pcie_bw: float = 12e9
+    warp_size: int = 32
+
+    @property
+    def cycle(self) -> float:
+        """Seconds per clock cycle."""
+        return 1.0 / self.clock_hz
+
+
+RTX_2080 = DeviceSpec(
+    name="RTX 2080",
+    n_sms=46,
+    n_rt_cores=46,
+    n_cuda_cores=2944,
+    clock_hz=1.71e9,
+    mem_bytes=8 * 1024**3,
+    dram_bw=448e9,
+    l2_bw=1800e9,
+    l1_kb=64,
+    l2_kb=4096,
+)
+
+RTX_2080TI = DeviceSpec(
+    name="RTX 2080 Ti",
+    n_sms=68,
+    n_rt_cores=68,
+    n_cuda_cores=4352,
+    clock_hz=1.545e9,
+    mem_bytes=11 * 1024**3,
+    dram_bw=616e9,
+    l2_bw=2400e9,
+    l1_kb=64,
+    l2_kb=5632,
+)
+
+KNOWN_DEVICES = {d.name: d for d in (RTX_2080, RTX_2080TI)}

@@ -1,0 +1,6 @@
+"""Measurement utilities: time breakdowns, linear fits, geomeans."""
+
+from repro.metrics.breakdown import Breakdown
+from repro.metrics.fits import linear_fit, LinearFit, geomean
+
+__all__ = ["Breakdown", "linear_fit", "LinearFit", "geomean"]

@@ -1,0 +1,44 @@
+"""The five-way time breakdown of Fig. 12.
+
+Every end-to-end RTNN run decomposes its modeled time into the paper's
+categories: ``data`` (host->device transfer), ``opt`` (reordering +
+partitioning overhead), ``bvh`` (acceleration-structure builds), ``fs``
+(the first search that finds first-hit AABBs), and ``search`` (the
+actual neighbor search).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class Breakdown:
+    """Modeled seconds per execution category."""
+
+    data: float = 0.0
+    opt: float = 0.0
+    bvh: float = 0.0
+    fs: float = 0.0
+    search: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.data + self.opt + self.bvh + self.fs + self.search
+
+    def __add__(self, other: "Breakdown") -> "Breakdown":
+        return Breakdown(
+            **{f.name: getattr(self, f.name) + getattr(other, f.name) for f in fields(self)}
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["total"] = self.total
+        return out
+
+    def fractions(self) -> dict[str, float]:
+        """Each category as a fraction of the total (0 when total is 0)."""
+        t = self.total
+        if t <= 0:
+            return {f.name: 0.0 for f in fields(self)}
+        return {f.name: getattr(self, f.name) / t for f in fields(self)}

@@ -1,0 +1,49 @@
+"""Small statistics helpers: least-squares line fits and geomeans."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class LinearFit:
+    """Result of a 1-D least-squares fit ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x):
+        return self.slope * np.asarray(x, dtype=np.float64) + self.intercept
+
+
+def linear_fit(x, y) -> LinearFit:
+    """Ordinary least squares with the coefficient of determination.
+
+    Used to reproduce Fig. 15: BVH construction time vs AABB count fits
+    a line with R² = 0.996 in the paper.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be equal-length 1-D arrays")
+    if len(x) < 2:
+        raise ValueError("need at least two samples to fit a line")
+    slope, intercept = np.polyfit(x, y, 1)
+    resid = y - (slope * x + intercept)
+    ss_res = float((resid**2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r2)
+
+
+def geomean(values) -> float:
+    """Geometric mean of positive values (the paper's speedup summary)."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        raise ValueError("geomean of empty sequence")
+    if (values <= 0).any():
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.log(values).mean()))

@@ -1,0 +1,31 @@
+"""OptiX-like programming model over the simulated GPU.
+
+Mirrors the (simplified) OptiX 7 surface the paper programs against:
+
+* :func:`build_gas` — build a geometry acceleration structure from
+  per-primitive AABBs (custom-primitive build input);
+* :class:`Pipeline` / :meth:`Pipeline.launch` — launch a grid of rays
+  through a GAS, invoking a programmable intersection shader; rays map
+  to threads in launch order, 32 consecutive rays form a warp.
+
+Any-hit termination is expressed by the IS shader returning ray ids to
+terminate (the ``optixTerminateRay`` path used when K neighbors are
+found).
+"""
+
+from repro.optix.gas import GeometryAS, build_gas
+from repro.optix.pipeline import Pipeline, LaunchResult
+from repro.optix.shaders import IntersectionShader, CountingShader
+from repro.optix.timeline import record_timelines, render_timelines, RayTimeline
+
+__all__ = [
+    "GeometryAS",
+    "build_gas",
+    "Pipeline",
+    "LaunchResult",
+    "IntersectionShader",
+    "CountingShader",
+    "record_timelines",
+    "render_timelines",
+    "RayTimeline",
+]

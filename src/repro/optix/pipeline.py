@@ -1,0 +1,83 @@
+"""The ray-tracing pipeline: launch rays through a GAS.
+
+``Pipeline.launch`` is the moral equivalent of ``optixLaunch`` +
+``optixTrace``: it maps the ray batch onto threads in launch order
+(warp = 32 consecutive rays), runs the lockstep traversal on the
+simulated RT cores, calls the intersection shader on the SMs, and
+returns both the functional outcome (whatever the shader accumulated)
+and the hardware picture: a :class:`~repro.bvh.traverse.TraceResult`
+plus a :class:`~repro.gpu.costmodel.LaunchCost`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bvh.traverse import TraceResult, trace_batch
+from repro.geometry.ray import RayBatch
+from repro.gpu.cache import SampledCacheTracer
+from repro.gpu.costmodel import CostModel, IsKind, LaunchCost
+from repro.gpu.device import DeviceSpec, RTX_2080
+from repro.optix.gas import GeometryAS
+
+
+@dataclass
+class LaunchResult:
+    """Everything one launch produced besides the shader's own state."""
+
+    trace: TraceResult
+    cost: LaunchCost
+    l1_hit_rate: float | None
+    l2_hit_rate: float | None
+
+    @property
+    def modeled_time(self) -> float:
+        return self.cost.total
+
+
+class Pipeline:
+    """A configured ray-tracing pipeline bound to one simulated device."""
+
+    def __init__(self, device: DeviceSpec = RTX_2080, cache_sim: bool = True,
+                 cache_max_warps: int = 8):
+        self.device = device
+        self.cost_model = CostModel(device)
+        self.cache_sim = cache_sim
+        self.cache_max_warps = cache_max_warps
+
+    def launch(
+        self,
+        gas: GeometryAS,
+        rays: RayBatch,
+        is_shader,
+        kind: IsKind,
+    ) -> LaunchResult:
+        """Trace ``rays`` through ``gas`` invoking ``is_shader`` on hits.
+
+        ``kind`` selects the IS cost class for the launch's modeled time
+        (first-hit pre-pass, range with/without sphere test, or KNN).
+        """
+        tracer = None
+        if self.cache_sim and len(rays) > 0:
+            tracer = SampledCacheTracer(
+                n_rays=len(rays),
+                warp_size=self.device.warp_size,
+                max_warps=self.cache_max_warps,
+                l1_kb=self.device.l1_kb,
+                l2_kb=self.device.l2_kb,
+                l2_share=1.0 / self.device.n_sms,
+            )
+        trace = trace_batch(
+            gas.bvh,
+            rays.origins,
+            rays.directions,
+            rays.t_min,
+            rays.t_max,
+            is_shader,
+            warp_size=self.device.warp_size,
+            tracer=tracer,
+        )
+        cost = self.cost_model.launch_cost(trace, kind, tracer=tracer)
+        l1 = tracer.l1_hit_rate if tracer is not None else None
+        l2 = tracer.l2_hit_rate if tracer is not None else None
+        return LaunchResult(trace=trace, cost=cost, l1_hit_rate=l1, l2_hit_rate=l2)

@@ -1,0 +1,17 @@
+"""Small shared utilities: validation helpers and seeded RNG plumbing."""
+
+from repro.utils.validate import (
+    as_points,
+    check_finite,
+    check_positive,
+    check_positive_int,
+)
+from repro.utils.rng import default_rng
+
+__all__ = [
+    "as_points",
+    "check_finite",
+    "check_positive",
+    "check_positive_int",
+    "default_rng",
+]

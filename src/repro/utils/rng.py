@@ -1,0 +1,23 @@
+"""Seeded random-number-generator plumbing.
+
+Every stochastic component in the library (dataset generators, sampled
+cache simulation) accepts either a seed or a ``numpy.random.Generator``
+and routes it through :func:`default_rng`, so whole experiments are
+reproducible from a single integer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def default_rng(seed=None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator``.
+
+    Accepts ``None`` (fresh entropy), an integer seed, a ``SeedSequence``,
+    or an existing ``Generator`` (returned unchanged so callers can share
+    a stream).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,72 @@
+"""Input validation helpers shared across the library.
+
+All public entry points funnel user-provided arrays through these helpers
+so error messages are uniform and failures happen at the API boundary
+rather than deep inside a vectorized kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_points(arr, name: str = "points", dims: int | None = 3) -> np.ndarray:
+    """Coerce ``arr`` to a C-contiguous float64 ``(N, dims)`` array.
+
+    Parameters
+    ----------
+    arr:
+        Anything ``np.asarray`` accepts.
+    name:
+        Argument name used in error messages.
+    dims:
+        Required dimensionality (2 or 3). ``None`` accepts either.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(N, dims)`` float64, C-contiguous.
+
+    Raises
+    ------
+    ValueError
+        If the array is not 2-D, has the wrong number of columns, or
+        contains non-finite values.
+    """
+    out = np.ascontiguousarray(np.asarray(arr, dtype=np.float64))
+    if out.ndim == 1 and dims is not None and out.size == dims:
+        out = out.reshape(1, dims)
+    if out.ndim != 2:
+        raise ValueError(f"{name} must be a 2-D array, got shape {out.shape}")
+    if dims is not None and out.shape[1] != dims:
+        raise ValueError(
+            f"{name} must have {dims} columns, got {out.shape[1]}"
+        )
+    if out.shape[1] not in (2, 3):
+        raise ValueError(
+            f"{name} must be 2-D or 3-D coordinates, got {out.shape[1]} columns"
+        )
+    check_finite(out, name)
+    return out
+
+
+def check_finite(arr: np.ndarray, name: str) -> None:
+    """Raise ``ValueError`` if ``arr`` contains NaN or infinity."""
+    if not np.isfinite(arr).all():
+        raise ValueError(f"{name} contains non-finite values (NaN or inf)")
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate a strictly positive scalar and return it as ``float``."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate a strictly positive integer and return it as ``int``."""
+    ivalue = int(value)
+    if ivalue != value or ivalue <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value}")
+    return ivalue

@@ -1,0 +1,38 @@
+"""One-shot API tests."""
+
+import numpy as np
+
+from repro.api import knn_search, range_search
+from repro.core.engine import RTNNConfig
+from repro.gpu.device import RTX_2080TI
+
+
+def test_knn_one_shot(cube_points, cube_queries):
+    res = knn_search(cube_points, cube_queries, k=4, radius=0.1)
+    assert res.indices.shape == (len(cube_queries), 4)
+    assert res.report is not None
+
+
+def test_range_one_shot(cube_points, cube_queries):
+    res = range_search(cube_points, cube_queries, radius=0.1, k=8)
+    assert (res.counts <= 8).all()
+
+
+def test_one_shot_passes_options(cube_points, cube_queries):
+    res = knn_search(
+        cube_points,
+        cube_queries,
+        k=4,
+        radius=0.1,
+        device=RTX_2080TI,
+        config=RTNNConfig(schedule=False),
+    )
+    assert res.report.device == "RTX 2080 Ti"
+
+
+def test_one_shot_matches_engine(cube_points, cube_queries):
+    from repro import RTNNEngine
+
+    a = knn_search(cube_points, cube_queries, k=4, radius=0.1)
+    b = RTNNEngine(cube_points).knn_search(cube_queries, k=4, radius=0.1)
+    assert (a.indices == b.indices).all()

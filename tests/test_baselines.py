@@ -1,0 +1,150 @@
+"""Baseline searchers vs the brute-force oracle."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CuNSearch,
+    FRNN,
+    FastRNN,
+    PCLOctree,
+    brute_force_knn,
+    brute_force_range,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(42)
+    pts = rng.random((1200, 3))
+    q = rng.random((350, 3))
+    return pts, q, 0.11
+
+
+def _sets(res):
+    return [
+        set(res.indices[i][: res.counts[i]].tolist()) for i in range(res.n_queries)
+    ]
+
+
+def test_brute_range_counts(setup):
+    pts, q, r = setup
+    res = brute_force_range(pts, q, r, k=2000)
+    # spot-check against direct computation
+    for i in range(0, len(q), 50):
+        d = np.linalg.norm(pts - q[i], axis=1)
+        assert res.counts[i] == (d <= r).sum()
+
+
+def test_brute_knn_sorted(setup):
+    pts, q, r = setup
+    res = brute_force_knn(pts, q, k=5, radius=r)
+    d = res.sq_distances
+    for i in range(len(q)):
+        c = res.counts[i]
+        assert (np.diff(d[i][:c]) >= 0).all()
+
+
+def test_cunsearch_exact(setup):
+    pts, q, r = setup
+    got = CuNSearch(pts).range_search(q, r, k=2000)
+    ref = brute_force_range(pts, q, r, k=2000)
+    assert _sets(got) == _sets(ref)
+    assert got.report.modeled_time > 0
+
+
+def test_cunsearch_bounded_k(setup):
+    pts, q, r = setup
+    got = CuNSearch(pts).range_search(q, r, k=3)
+    ref = brute_force_range(pts, q, r, k=2000)
+    for i in range(len(q)):
+        assert got.counts[i] == min(ref.counts[i], 3)
+        d2 = ((pts[got.indices[i][: got.counts[i]]] - q[i]) ** 2).sum(axis=1)
+        assert (d2 <= r * r * (1 + 1e-12)).all()
+
+
+def test_frnn_exact(setup):
+    pts, q, r = setup
+    got = FRNN(pts).knn_search(q, k=7, radius=r)
+    ref = brute_force_knn(pts, q, k=7, radius=r)
+    for i in range(len(q)):
+        assert got.counts[i] == ref.counts[i]
+        np.testing.assert_allclose(
+            got.sq_distances[i][: got.counts[i]],
+            ref.sq_distances[i][: ref.counts[i]],
+            rtol=1e-9,
+        )
+
+
+def test_pcl_octree_range_exact(setup):
+    pts, q, r = setup
+    got = PCLOctree(pts).range_search(q, r, k=2000)
+    ref = brute_force_range(pts, q, r, k=2000)
+    assert _sets(got) == _sets(ref)
+
+
+def test_pcl_octree_nn_exact(setup):
+    pts, q, r = setup
+    got = PCLOctree(pts).knn_search(q, k=1, radius=r)
+    ref = brute_force_knn(pts, q, k=1, radius=r)
+    assert (got.counts == ref.counts).all()
+    both = (got.counts == 1) & (ref.counts == 1)
+    np.testing.assert_allclose(
+        got.sq_distances[both, 0], ref.sq_distances[both, 0], rtol=1e-9
+    )
+
+
+def test_pcl_octree_rejects_k_gt_1(setup):
+    pts, q, r = setup
+    with pytest.raises(ValueError):
+        PCLOctree(pts).knn_search(q, k=2, radius=r)
+
+
+def test_fastrnn_exact(setup):
+    pts, q, r = setup
+    got = FastRNN(pts).knn_search(q, k=5, radius=r)
+    ref = brute_force_knn(pts, q, k=5, radius=r)
+    for i in range(len(q)):
+        assert got.counts[i] == ref.counts[i]
+        np.testing.assert_allclose(
+            np.sort(got.sq_distances[i][: got.counts[i]]),
+            ref.sq_distances[i][: ref.counts[i]],
+            rtol=1e-9,
+        )
+
+
+def test_memory_models_positive(setup):
+    pts, _, r = setup
+    assert CuNSearch(pts).modeled_memory_bytes(10**7, r, 1.0) > 0
+    assert FRNN(pts).modeled_memory_bytes(10**7, r, 1.0) > 0
+    assert PCLOctree(pts).modeled_memory_bytes(10**7) > 0
+    assert FastRNN(pts).modeled_memory_bytes(10**7) > 0
+
+
+def test_grid_memory_blows_up_with_small_radius(setup):
+    pts, _, _ = setup
+    cu = CuNSearch(pts)
+    assert cu.modeled_memory_bytes(10**6, 0.001, 100.0) > cu.modeled_memory_bytes(
+        10**6, 1.0, 100.0
+    )
+
+
+def test_grid_chunking_matches_unchunked(setup):
+    """Chunk boundaries must not change results (CSR bookkeeping)."""
+    pts, q, r = setup
+    a = CuNSearch(pts, chunk_size=64).range_search(q, r, k=2000)
+    b = CuNSearch(pts).range_search(q, r, k=2000)
+    assert _sets(a) == _sets(b)
+    assert a.report.extras["candidates"] == b.report.extras["candidates"]
+    fa = FRNN(pts, chunk_size=64).knn_search(q, k=6, radius=r)
+    fb = FRNN(pts).knn_search(q, k=6, radius=r)
+    assert (fa.counts == fb.counts).all()
+    assert (fa.indices == fb.indices).all()
+
+
+def test_chunk_size_validated(setup):
+    pts, _, _ = setup
+    with pytest.raises(ValueError):
+        CuNSearch(pts, chunk_size=0)
+    with pytest.raises(ValueError):
+        FRNN(pts, chunk_size=-1)

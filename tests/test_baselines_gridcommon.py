@@ -1,0 +1,73 @@
+"""Grid-baseline helper tests (CSR expansion, ranks, warp rounds)."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.baselines.gridcommon import (
+    csr_expand,
+    segment_ranks,
+    sweep_neighbors,
+    warp_round_sum,
+)
+from repro.geometry.grid import UniformGrid
+
+
+def test_csr_expand_basic():
+    out = csr_expand(np.array([10, 20]), np.array([3, 2]))
+    assert out.tolist() == [10, 11, 12, 20, 21]
+
+
+def test_csr_expand_empty():
+    assert len(csr_expand(np.array([], dtype=np.int64), np.array([], dtype=np.int64))) == 0
+    out = csr_expand(np.array([5, 9]), np.array([0, 2]))
+    assert out.tolist() == [9, 10]
+
+
+@given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 5)), max_size=20))
+def test_property_csr_expand(pairs):
+    starts = np.array([p[0] for p in pairs], dtype=np.int64)
+    counts = np.array([p[1] for p in pairs], dtype=np.int64)
+    out = csr_expand(starts, counts)
+    expect = [s + j for s, c in pairs for j in range(c)]
+    assert out.tolist() == expect
+
+
+def test_segment_ranks():
+    ids = np.array([0, 0, 0, 2, 2, 5])
+    assert segment_ranks(ids).tolist() == [0, 1, 2, 0, 1, 0]
+    assert len(segment_ranks(np.array([], dtype=np.int64))) == 0
+
+
+@given(st.lists(st.integers(0, 5), min_size=1, max_size=40))
+def test_property_segment_ranks(vals):
+    ids = np.sort(np.array(vals, dtype=np.int64))
+    ranks = segment_ranks(ids)
+    seen = {}
+    for i, v in enumerate(ids.tolist()):
+        assert ranks[i] == seen.get(v, 0)
+        seen[v] = seen.get(v, 0) + 1
+
+
+def test_warp_round_sum():
+    work = np.zeros(64, dtype=np.int64)
+    work[0] = 10       # warp 0 max = 10
+    work[40] = 7       # warp 1 max = 7
+    assert warp_round_sum(work, 32) == 17
+    assert warp_round_sum(np.array([], dtype=np.int64)) == 0
+
+
+def test_sweep_finds_superset_of_ball():
+    rng = np.random.default_rng(0)
+    pts = rng.random((400, 3))
+    q = rng.random((50, 3))
+    r = 0.15
+    grid = UniformGrid(pts, cell_size=r)
+    sweep = sweep_neighbors(grid, q)
+    # every true r-neighbor pair appears among the candidates
+    cand = set(zip(sweep.pair_q.tolist(), sweep.pair_p.tolist()))
+    d = np.linalg.norm(q[:, None] - pts[None], axis=2)
+    for i, j in zip(*np.nonzero(d <= r)):
+        assert (i, j) in cand
+    assert sweep.work_per_query.sum() == len(sweep.pair_q)
+    assert sweep.cell_lookups <= 27 * len(q)
+    assert sweep.point_fetch_lines > 0

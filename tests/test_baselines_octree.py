@@ -1,0 +1,110 @@
+"""Octree substrate tests (structure + traversal)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.octree import Octree, build_octree, octree_traverse
+
+
+@pytest.fixture(scope="module")
+def tree():
+    pts = np.random.default_rng(9).random((1000, 3))
+    return build_octree(pts, leaf_size=8), pts
+
+
+def test_structure(tree):
+    t, pts = tree
+    assert t.n_points == 1000
+    assert sorted(t.point_order.tolist()) == list(range(1000))
+    leaf = t.is_leaf
+    # leaves cover all points exactly once
+    covered = np.zeros(1000, dtype=int)
+    for i in np.flatnonzero(leaf):
+        covered[t.point_order[t.node_start[i] : t.node_end[i]]] += 1
+    assert (covered == 1).all()
+
+
+def test_children_partition_parent(tree):
+    t, _ = tree
+    for i in range(t.n_nodes):
+        if t.child_first[i] < 0:
+            continue
+        cf, cc = t.child_first[i], t.child_count[i]
+        assert 1 <= cc <= 8
+        starts = t.node_start[cf : cf + cc]
+        ends = t.node_end[cf : cf + cc]
+        assert starts[0] == t.node_start[i]
+        assert ends[-1] == t.node_end[i]
+        assert (starts[1:] == ends[:-1]).all()
+
+
+def test_bounds_contain_points(tree):
+    t, pts = tree
+    sp = pts[t.point_order]
+    for i in range(0, t.n_nodes, 7):
+        s, e = t.node_start[i], t.node_end[i]
+        assert (t.node_lo[i] <= sp[s:e].min(axis=0) + 1e-12).all()
+        assert (t.node_hi[i] >= sp[s:e].max(axis=0) - 1e-12).all()
+
+
+def test_leaf_sizes(tree):
+    t, _ = tree
+    leaf = t.is_leaf
+    sizes = (t.node_end - t.node_start)[leaf]
+    assert sizes.max() == t.max_leaf_count
+    # adaptive splitting keeps leaves small unless codes collide
+    assert t.max_leaf_count <= 8 or t.depth == 21
+
+
+def test_duplicates_dont_split_forever():
+    pts = np.zeros((100, 3))
+    t = build_octree(pts, leaf_size=4)
+    assert t.max_leaf_count == 100  # unsplittable duplicates
+
+
+def test_build_validation():
+    with pytest.raises(ValueError):
+        build_octree(np.zeros((0, 3)))
+    with pytest.raises(ValueError):
+        build_octree(np.zeros((5, 3)), leaf_size=0)
+
+
+def test_traverse_finds_all_in_radius(tree):
+    t, pts = tree
+    rng = np.random.default_rng(1)
+    q = rng.random((60, 3))
+    r = 0.15
+    found = [set() for _ in range(60)]
+
+    def cb(qids, pids, d2):
+        hit = d2 <= r * r
+        for qq, pp in zip(qids[hit], pids[hit]):
+            found[qq].add(int(pp))
+        return None
+
+    prune2 = np.full(60, r * r)
+    stats = octree_traverse(t, q, prune2, cb)
+    assert stats.steps.sum() > 0
+    for i in range(60):
+        d = np.linalg.norm(pts - q[i], axis=1)
+        assert found[i] == set(np.flatnonzero(d <= r).tolist())
+
+
+def test_traverse_empty_queries(tree):
+    t, _ = tree
+    stats = octree_traverse(t, np.zeros((0, 3)), np.zeros(0), lambda *a: None)
+    assert len(stats.steps) == 0
+
+
+def test_traverse_termination(tree):
+    t, _ = tree
+    q = np.random.default_rng(2).random((40, 3))
+
+    calls = np.zeros(40, dtype=int)
+
+    def one_and_done(qids, pids, d2):
+        calls[qids] += 1
+        return qids
+
+    octree_traverse(t, q, np.full(40, np.inf), one_and_done)
+    assert (calls <= 1).all()

@@ -1,0 +1,51 @@
+"""BVH persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_lbvh, trace_batch, validate_bvh
+from repro.bvh.serialize import load_bvh, save_bvh
+from repro.geometry.aabb import aabbs_from_points
+from repro.optix.shaders import CountingShader
+
+
+def test_roundtrip(tmp_path, rng):
+    pts = rng.random((400, 3))
+    lo, hi = aabbs_from_points(pts, 0.05)
+    bvh = build_lbvh(lo, hi, leaf_size=3)
+    p = tmp_path / "tree.npz"
+    save_bvh(p, bvh)
+    back = load_bvh(p)
+    validate_bvh(back)
+    assert back.depth == bvh.depth and back.leaf_size == bvh.leaf_size
+    for name in ("node_lo", "node_left", "prim_order", "prim_hi"):
+        np.testing.assert_array_equal(getattr(back, name), getattr(bvh, name))
+
+    # identical traversal behavior
+    q = rng.random((60, 3))
+    d = np.broadcast_to(np.array([1.0, 0.0, 0.0]), q.shape).copy()
+    a = CountingShader(60)
+    b = CountingShader(60)
+    trace_batch(bvh, q, d, 0.0, 1e-16, a)
+    trace_batch(back, q, d, 0.0, 1e-16, b)
+    assert (a.calls == b.calls).all()
+
+
+def test_rejects_foreign_npz(tmp_path):
+    p = tmp_path / "x.npz"
+    np.savez(p, stuff=np.arange(3))
+    with pytest.raises(ValueError, match="not a saved BVH"):
+        load_bvh(p)
+
+
+def test_rejects_future_version(tmp_path, rng):
+    pts = rng.random((20, 3))
+    lo, hi = aabbs_from_points(pts, 0.05)
+    bvh = build_lbvh(lo, hi)
+    p = tmp_path / "tree.npz"
+    save_bvh(p, bvh)
+    data = dict(np.load(p))
+    data["__format__"] = np.int64(99)
+    np.savez(p, **data)
+    with pytest.raises(ValueError, match="version"):
+        load_bvh(p)

@@ -1,0 +1,119 @@
+"""Traversal engine tests: functional results and counter semantics."""
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_lbvh, build_median_split, trace_batch
+from repro.geometry.aabb import aabbs_from_points
+from repro.optix.shaders import CountingShader
+
+
+def _setup(n_pts=300, n_rays=100, hw=0.08, leaf_size=1, seed=0):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n_pts, 3))
+    rays = rng.random((n_rays, 3))
+    lo, hi = aabbs_from_points(pts, hw)
+    bvh = build_lbvh(lo, hi, leaf_size=leaf_size)
+    return pts, rays, bvh, hw
+
+
+def _expected_hits(pts, rays, hw):
+    """Rays whose origin lies in each point's AABB (Chebyshev <= hw)."""
+    cheb = np.abs(rays[:, None, :] - pts[None, :, :]).max(axis=2)
+    return cheb <= hw
+
+
+def _dirs(rays):
+    return np.broadcast_to(np.array([1.0, 0.0, 0.0]), rays.shape).copy()
+
+
+@pytest.mark.parametrize("leaf_size", [1, 3, 8])
+def test_is_calls_equal_enclosing_aabbs(leaf_size):
+    """IS must fire exactly once per (ray, enclosing prim AABB) pair,
+    regardless of leaf width (per-prim filtering, Fig. 1b)."""
+    pts, rays, bvh, hw = _setup(leaf_size=leaf_size)
+    shader = CountingShader(len(rays), record_pairs=True)
+    res = trace_batch(bvh, rays, _dirs(rays), 0.0, 1e-16, shader)
+    expect = _expected_hits(pts, rays, hw)
+    assert (shader.calls == expect.sum(axis=1)).all()
+    assert res.total_is_calls == expect.sum()
+    # every pair is distinct and correct
+    got = set()
+    for r, p in shader.pairs:
+        got.update(zip(r.tolist(), p.tolist()))
+    want = {(i, j) for i, j in zip(*np.nonzero(expect))}
+    assert got == want
+
+
+def test_same_results_for_both_builders():
+    pts, rays, _, hw = _setup()
+    lo, hi = aabbs_from_points(pts, hw)
+    for builder in (build_lbvh, build_median_split):
+        bvh = builder(lo, hi, leaf_size=2)
+        shader = CountingShader(len(rays))
+        trace_batch(bvh, rays, _dirs(rays), 0.0, 1e-16, shader)
+        assert (shader.calls == _expected_hits(pts, rays, hw).sum(axis=1)).all()
+
+
+def test_termination_stops_ray():
+    """A handler that terminates on first hit yields <=1 IS call per ray."""
+    pts, rays, bvh, hw = _setup()
+
+    calls = np.zeros(len(rays), dtype=np.int64)
+
+    def first_hit_only(ray_ids, prim_ids):
+        calls[ray_ids] += 1
+        return ray_ids
+
+    trace_batch(bvh, rays, _dirs(rays), 0.0, 1e-16, first_hit_only)
+    assert (calls <= 1).all()
+    expect_any = _expected_hits(pts, rays, hw).any(axis=1)
+    assert (calls.astype(bool) == expect_any).all()
+
+
+def test_empty_ray_batch():
+    pts, _, bvh, _ = _setup()
+    res = trace_batch(bvh, np.zeros((0, 3)), np.zeros((0, 3)), 0.0, 1e-16,
+                      CountingShader(0))
+    assert res.n_rays == 0 and res.iterations == 0
+
+
+def test_counters_consistency():
+    pts, rays, bvh, hw = _setup(leaf_size=4)
+    shader = CountingShader(len(rays))
+    res = trace_batch(bvh, rays, _dirs(rays), 0.0, 1e-16, shader)
+    assert res.total_steps == res.steps.sum()
+    assert res.total_is_calls == shader.total_calls
+    # warp maxima bound per-lane sums
+    assert res.warp_traversal_steps >= res.total_steps / res.warp_size
+    assert res.warp_traversal_steps <= res.total_steps
+    assert 0.0 < res.simd_efficiency <= 1.0
+    assert res.prim_tests >= res.total_is_calls  # filter can only reduce
+
+
+def test_per_warp_steps_are_maxima():
+    pts, rays, bvh, _ = _setup(n_rays=70)
+    res = trace_batch(bvh, rays, _dirs(rays), 0.0, 1e-16, CountingShader(70))
+    padded = np.zeros(3 * 32, dtype=np.int64)
+    padded[:70] = res.steps
+    assert (res.per_warp_steps == padded.reshape(3, 32).max(axis=1)).all()
+
+
+def test_merge_accumulates():
+    pts, rays, bvh, _ = _setup()
+    a = trace_batch(bvh, rays[:50], _dirs(rays[:50]), 0.0, 1e-16, CountingShader(50))
+    b = trace_batch(bvh, rays[50:], _dirs(rays[50:]), 0.0, 1e-16, CountingShader(50))
+    m = a.merge(b)
+    assert m.n_rays == 100
+    assert m.total_steps == a.total_steps + b.total_steps
+    assert m.warp_is_steps == a.warp_is_steps + b.warp_is_steps
+
+
+def test_long_rays_hit_more():
+    """Condition-1 hits appear once the segment is long (Fig. 4c Q')."""
+    pts, rays, bvh, hw = _setup()
+    short = CountingShader(len(rays))
+    trace_batch(bvh, rays, _dirs(rays), 0.0, 1e-16, short)
+    long = CountingShader(len(rays))
+    trace_batch(bvh, rays, _dirs(rays), 0.0, 10.0, long)
+    assert long.total_calls > short.total_calls

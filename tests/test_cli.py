@@ -1,0 +1,61 @@
+"""CLI tests (in-process main() invocation)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import write_ply
+
+
+def test_datasets_list(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "KITTI-12M" in out and "Buddha-4.6M" in out
+
+
+def test_datasets_generate(tmp_path, capsys):
+    out = tmp_path / "bunny.ply"
+    assert main(["datasets", "--generate", "Bunny-360K", "--scale", "0.02",
+                 "--out", str(out)]) == 0
+    from repro.datasets import read_ply
+
+    pts = read_ply(out)
+    assert len(pts) >= 16
+
+
+def test_datasets_generate_requires_out():
+    with pytest.raises(SystemExit):
+        main(["datasets", "--generate", "Bunny-360K"])
+
+
+def test_search_registry(capsys):
+    assert main(["search", "--dataset", "Bunny-360K", "--scale", "0.05",
+                 "--mode", "range", "-k", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "modeled GPU time" in out
+    assert "range search" in out
+
+
+def test_search_from_file_with_output(tmp_path, capsys):
+    pts = np.random.default_rng(0).random((300, 3))
+    f = tmp_path / "c.ply"
+    write_ply(f, pts)
+    res = tmp_path / "res.npz"
+    assert main(["search", "--points", str(f), "--mode", "knn", "-k", "3",
+                 "-r", "0.2", "--out", str(res), "--device", "RTX 2080 Ti",
+                 "--no-partition"]) == 0
+    data = np.load(res)
+    assert data["indices"].shape == (300, 3)
+    assert "RTX 2080 Ti" in capsys.readouterr().out
+
+
+def test_search_rejects_unknown_extension(tmp_path):
+    f = tmp_path / "c.csv"
+    f.write_text("1,2,3\n")
+    with pytest.raises(SystemExit):
+        main(["search", "--points", str(f)])
+
+
+def test_experiments_unknown_section():
+    with pytest.raises(SystemExit):
+        main(["experiments", "--only", "fig99"])

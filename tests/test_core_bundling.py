@@ -1,0 +1,127 @@
+"""Bundling optimizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.bundling import Bundle, bundle_partitions
+from repro.core.partition import Partition
+from repro.gpu.costmodel import CostModel
+
+
+def _part(n, s, c=None, capped=False, k=8):
+    c = c if c is not None else s
+    return Partition(
+        query_ids=np.arange(n, dtype=np.int64),
+        aabb_width=s,
+        megacell_width=c,
+        capped=capped,
+        sphere_test=capped,
+        density=k / c**3,
+    )
+
+
+def test_disabled_keeps_all_partitions():
+    parts = [_part(10, 0.1), _part(5, 0.2), _part(2, 0.4)]
+    dec = bundle_partitions(parts, 1000, 8, "range", CostModel(), enable=False)
+    assert len(dec.bundles) == 3
+    assert dec.chosen_m == 3
+
+
+def test_single_partition_noop():
+    dec = bundle_partitions([_part(10, 0.1)], 1000, 8, "knn", CostModel())
+    assert len(dec.bundles) == 1
+
+
+def test_empty_raises():
+    with pytest.raises(ValueError):
+        bundle_partitions([], 1000, 8, "knn", CostModel())
+
+
+def test_tiny_partitions_merge():
+    """Many tiny partitions: builds dominate, so bundling collapses them."""
+    parts = [_part(2, 0.1 * (i + 1)) for i in range(10)]
+    dec = bundle_partitions(parts, 5_000_000, 8, "knn", CostModel())
+    assert len(dec.bundles) < 10
+
+
+def test_merged_bundle_properties():
+    parts = [_part(100, 0.1), _part(2, 0.2), _part(1, 0.4, capped=True)]
+    dec = bundle_partitions(parts, 10_000_000, 8, "range", CostModel())
+    widest = max(dec.bundles, key=lambda b: b.aabb_width)
+    if len(widest.members) > 1:
+        # merged bundle inherits the max width and any sphere test
+        assert widest.aabb_width == pytest.approx(0.4)
+        assert widest.sphere_test
+
+
+def test_bundles_partition_queries():
+    parts = [
+        Partition(
+            query_ids=np.arange(i * 10, (i + 1) * 10, dtype=np.int64),
+            aabb_width=0.1 * (i + 1),
+            megacell_width=0.1 * (i + 1),
+            capped=False,
+            sphere_test=False,
+            density=8.0,
+        )
+        for i in range(5)
+    ]
+    dec = bundle_partitions(parts, 100_000, 8, "range", CostModel())
+    ids = np.concatenate([b.query_ids for b in dec.bundles])
+    assert sorted(ids.tolist()) == list(range(50))
+
+
+def test_predicted_costs_cover_all_strategies():
+    parts = [_part(10 * (i + 1), 0.1 * (i + 1)) for i in range(6)]
+    dec = bundle_partitions(parts, 100_000, 8, "knn", CostModel())
+    assert len(dec.predicted_costs) == 6
+    assert 1 <= dec.chosen_m <= 6
+    chosen_cost = dec.predicted_costs[dec.chosen_m - 1]
+    assert chosen_cost == min(dec.predicted_costs)
+
+
+def test_bundle_dataclass():
+    b = Bundle(
+        query_ids=np.arange(5), aabb_width=0.5, sphere_test=False, capped=False
+    )
+    assert b.n_queries == 5
+
+
+def test_theorem_vs_exhaustive_optimum():
+    """App. C's strategy family (singles + ONE merged bundle) versus the
+    true optimum over *all* groupings of the cost model.
+
+    Empirically (and provably for the width-independent range model)
+    the linear scan is exact for range search. For KNN the true optimum
+    may split the merge into several bundles — a structure outside the
+    theorem's family — but stays within ~1.5x; the paper's own
+    within-3%-of-oracle claim similarly relies on its workloads'
+    inverse width/count correlation.
+    """
+    from repro.core.bundling import exhaustive_bundle
+
+    rng = np.random.default_rng(7)
+    for kind in ("knn", "range"):
+        for trial in range(6):
+            m = int(rng.integers(2, 7))
+            widths = np.sort(rng.uniform(0.05, 0.8, m))
+            counts = np.sort(rng.integers(1, 500, m))[::-1]  # inverse corr.
+            parts = [
+                _part(int(n), float(s), c=float(s) / 1.5)
+                for n, s in zip(counts, widths)
+            ]
+            n_points = int(rng.integers(1_000, 200_000))
+            dec = bundle_partitions(parts, n_points, 8, kind, CostModel())
+            _, best = exhaustive_bundle(parts, n_points, 8, kind, CostModel())
+            chosen = dec.predicted_costs[dec.chosen_m - 1]
+            bound = 1.001 if kind == "range" else 1.5
+            assert chosen <= best * bound + 1e-15, (kind, trial, chosen, best)
+
+
+def test_exhaustive_bundle_limits():
+    from repro.core.bundling import exhaustive_bundle
+
+    with pytest.raises(ValueError):
+        exhaustive_bundle([], 100, 8, "knn", CostModel())
+    with pytest.raises(ValueError):
+        exhaustive_bundle([_part(1, 0.1)] * 11, 100, 8, "knn", CostModel())

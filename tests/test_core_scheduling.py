@@ -1,0 +1,77 @@
+"""Query scheduling tests (Listing 2)."""
+
+import numpy as np
+
+from repro.core.scheduling import schedule_queries
+from repro.geometry.morton import morton_order
+from repro.optix import Pipeline, build_gas
+
+
+def _setup(n_pts=800, n_q=300, hw=0.08, seed=0):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n_pts, 3))
+    q = rng.random((n_q, 3))
+    pipe = Pipeline(cache_sim=False)
+    gas = build_gas(pts, hw, pipe.cost_model, leaf_size=2)
+    return pts, q, pipe, gas
+
+
+def test_order_is_permutation():
+    _, q, pipe, gas = _setup()
+    out = schedule_queries(pipe, gas, q)
+    assert sorted(out.order.tolist()) == list(range(len(q)))
+
+
+def test_first_hit_is_enclosing_aabb():
+    pts, q, pipe, gas = _setup()
+    out = schedule_queries(pipe, gas, q)
+    hw = gas.half_width
+    hit = out.first_hit >= 0
+    # every reported first hit must actually enclose the query
+    cheb = np.abs(q[hit] - pts[out.first_hit[hit]]).max(axis=1)
+    assert (cheb <= hw + 1e-12).all()
+    # every miss must really be enclosed by nothing
+    for i in np.flatnonzero(~hit):
+        assert (np.abs(q[i] - pts).max(axis=1) > hw).all()
+
+
+def test_fs_is_truncated():
+    """The first search costs at most one IS call per ray."""
+    _, q, pipe, gas = _setup()
+    out = schedule_queries(pipe, gas, q)
+    assert out.fs_launch.trace.total_is_calls <= len(q)
+
+
+def test_misses_sort_last():
+    pts, _, pipe, gas = _setup()
+    # Mix of guaranteed hits (points themselves) and guaranteed misses
+    # (far outside the cloud).
+    far = np.full((20, 3), 5.0) + np.random.default_rng(1).random((20, 3))
+    q = np.concatenate([pts[:50], far])
+    out = schedule_queries(pipe, gas, q)
+    miss = out.first_hit[out.order] < 0
+    assert not miss[:50].any()
+    assert miss[-20:].all()
+
+
+def test_subset_scheduling():
+    _, q, pipe, gas = _setup()
+    ids = np.arange(0, len(q), 3, dtype=np.int64)
+    out = schedule_queries(pipe, gas, q, query_ids=ids)
+    assert sorted(out.order.tolist()) == list(range(len(ids)))
+
+
+def test_scheduled_order_improves_coherence():
+    """Scheduled order should look like a Morton-ish order: adjacent
+    launch positions map to nearby queries."""
+    pts, q, pipe, gas = _setup(n_q=600)
+    out = schedule_queries(pipe, gas, q)
+    sched = q[out.order]
+    d_sched = np.linalg.norm(np.diff(sched, axis=0), axis=1).mean()
+    d_input = np.linalg.norm(np.diff(q, axis=0), axis=1).mean()
+    assert d_sched < d_input
+    # and is in the same ballpark as a true Morton sort of the queries
+    d_morton = np.linalg.norm(
+        np.diff(q[morton_order(q)], axis=0), axis=1
+    ).mean()
+    assert d_sched < 3 * d_morton

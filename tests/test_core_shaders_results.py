@@ -1,0 +1,80 @@
+"""Shader-unit and results-container tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.queues import KnnQueueBatch, RangeAccumulator
+from repro.core.results import RunReport, SearchResults, empty_results
+from repro.core.shaders import FirstHitShader, KnnShader, RangeShader
+from repro.metrics.breakdown import Breakdown
+
+
+@pytest.fixture()
+def world():
+    points = np.array(
+        [[0.0, 0.0, 0.0], [0.1, 0.0, 0.0], [5.0, 5.0, 5.0]], dtype=np.float64
+    )
+    origins = np.array([[0.05, 0.0, 0.0], [4.9, 5.0, 5.0]], dtype=np.float64)
+    query_ids = np.array([0, 1], dtype=np.int64)
+    return points, origins, query_ids
+
+
+def test_range_shader_sphere_test_filters(world):
+    points, origins, qids = world
+    acc = RangeAccumulator(2, k=4)
+    shader = RangeShader(points, origins, qids, acc, radius=0.06, sphere_test=True)
+    # query 0 offered point 1 at distance 0.05 (in) and point 2 (out)
+    out = shader(np.array([0, 1]), np.array([1, 2]))
+    assert out is None or len(out) == 0
+    assert acc.count[0] == 1 and acc.count[1] == 0
+
+
+def test_range_shader_no_test_accepts_everything(world):
+    points, origins, qids = world
+    acc = RangeAccumulator(2, k=4)
+    shader = RangeShader(points, origins, qids, acc, radius=1e-9, sphere_test=False)
+    shader(np.array([0]), np.array([1]))
+    assert acc.count[0] == 1  # would have failed the sphere test
+
+
+def test_range_shader_terminates_full_rays(world):
+    points, origins, qids = world
+    acc = RangeAccumulator(2, k=1)
+    shader = RangeShader(points, origins, qids, acc, radius=10.0)
+    term = shader(np.array([0]), np.array([0]))
+    assert term.tolist() == [0]
+
+
+def test_knn_shader_updates_queue(world):
+    points, origins, qids = world
+    queue = KnnQueueBatch(2, k=2, radius=10.0)
+    shader = KnnShader(points, origins, qids, queue)
+    assert shader(np.array([0, 1]), np.array([0, 2])) is None
+    idx, counts, _ = queue.finalize()
+    assert counts.tolist() == [1, 1]
+    assert idx[0, 0] == 0 and idx[1, 0] == 2
+
+
+def test_first_hit_shader_records_and_terminates():
+    shader = FirstHitShader(n_queries=3, query_ids=np.array([2, 0, 1]))
+    term = shader(np.array([0, 2]), np.array([7, 9]))
+    assert term.tolist() == [0, 2]
+    assert shader.first_hit.tolist() == [-1, 9, 7]
+
+
+def test_search_results_helpers():
+    idx, counts, d2 = empty_results(2, 3)
+    idx[0, :2] = [5, 3]
+    d2[0, :2] = [0.4, 0.1]
+    counts[0] = 2
+    res = SearchResults(idx, counts, d2)
+    assert res.n_queries == 2 and res.k == 3
+    assert res.neighbor_sets() == [{5, 3}, set()]
+    s = res.sorted_by_distance()
+    assert s.indices[0, :2].tolist() == [3, 5]
+    assert s.sq_distances[0, 0] == 0.1
+
+
+def test_run_report_modeled_time():
+    rep = RunReport(breakdown=Breakdown(search=2.0, data=1.0))
+    assert rep.modeled_time == 3.0

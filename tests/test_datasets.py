@@ -1,0 +1,104 @@
+"""Dataset generator tests: shapes, determinism, distribution facts."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    kitti_like,
+    load,
+    nbody_like,
+    paper_inputs,
+    scan_like,
+)
+
+
+def test_kitti_shape_and_determinism():
+    a = kitti_like(5000, seed=3)
+    b = kitti_like(5000, seed=3)
+    assert a.shape == (5000, 3)
+    assert (a == b).all()
+    assert not (a == kitti_like(5000, seed=4)).all()
+
+
+def test_kitti_ground_plane_structure():
+    """Mass near the ground, confined z-range (the paper's description)."""
+    pts = kitti_like(20000, seed=0)
+    z = pts[:, 2]
+    xy_extent = pts[:, :2].max() - pts[:, :2].min()
+    z_extent = z.max() - z.min()
+    assert z_extent < 0.15 * xy_extent
+    assert (np.abs(z) < 0.5).mean() > 0.5  # most points near the ground
+
+
+@pytest.mark.parametrize("model", ["bunny", "dragon", "buddha"])
+def test_scan_unit_cube_and_surface(model):
+    pts = scan_like(8000, model=model, seed=0)
+    assert pts.min() >= 0.0 and pts.max() <= 1.0 + 1e-12
+    # surface sampling: points are far from filling the volume — the
+    # fraction of occupied coarse voxels is low
+    vox = np.unique((pts * 10).astype(int), axis=0)
+    assert len(vox) < 700  # of 1000 possible
+
+
+def test_scan_models_differ():
+    a = scan_like(4000, model="bunny", seed=0)
+    b = scan_like(4000, model="dragon", seed=0)
+    assert not np.allclose(a, b)
+
+
+def test_scan_rejects_unknown_model():
+    with pytest.raises(ValueError):
+        scan_like(100, model="teapot")
+
+
+def test_nbody_clustered():
+    """Soneira-Peebles output must be far more clustered than uniform:
+    compare occupied-voxel counts at equal N."""
+    pts = nbody_like(20000, seed=0)
+    rng = np.random.default_rng(0)
+    uni = rng.uniform(0, 500, (20000, 3))
+    vox_n = len(np.unique((pts / 25).astype(int), axis=0))
+    vox_u = len(np.unique((uni / 25).astype(int), axis=0))
+    assert vox_n < 0.5 * vox_u
+
+
+def test_nbody_validation():
+    with pytest.raises(ValueError):
+        nbody_like(0)
+    with pytest.raises(ValueError):
+        nbody_like(100, eta=1)
+    with pytest.raises(ValueError):
+        nbody_like(100, lam=0.5)
+
+
+def test_registry_loads_all():
+    for name in paper_inputs():
+        pts, spec = load(name, scale=0.02)
+        assert pts.shape[1] == 3
+        assert len(pts) >= 16
+        assert spec.radius > 0
+        assert spec.paper_n_points > spec.n_points
+
+
+def test_registry_scale():
+    a, spec = load("Bunny-360K", scale=0.1)
+    assert len(a) == int(spec.n_points * 0.1)
+
+
+def test_registry_unknown():
+    with pytest.raises(ValueError):
+        load("KITTI-99M")
+
+
+def test_registry_order_matches_paper():
+    assert paper_inputs()[0] == "KITTI-1M"
+    assert len(paper_inputs()) == 8
+    assert set(DATASETS) == set(paper_inputs())
+
+
+def test_generators_reject_bad_sizes():
+    with pytest.raises(ValueError):
+        kitti_like(0)
+    with pytest.raises(ValueError):
+        scan_like(0)

@@ -1,0 +1,99 @@
+"""PLY / XYZ loader round-trip and robustness tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import read_ply, read_xyz, write_ply, write_xyz
+
+
+@pytest.fixture()
+def cloud(rng):
+    return rng.random((137, 3))
+
+
+def test_xyz_roundtrip(tmp_path, cloud):
+    p = tmp_path / "c.xyz"
+    write_xyz(p, cloud)
+    back = read_xyz(p)
+    np.testing.assert_allclose(back, cloud, rtol=1e-8)
+
+
+def test_xyz_extra_columns(tmp_path):
+    p = tmp_path / "c.xyz"
+    p.write_text("1 2 3 9 9\n4 5 6 9 9\n")
+    assert read_xyz(p).tolist() == [[1, 2, 3], [4, 5, 6]]
+
+
+def test_xyz_too_few_columns(tmp_path):
+    p = tmp_path / "c.xyz"
+    p.write_text("1 2\n")
+    with pytest.raises(ValueError):
+        read_xyz(p)
+
+
+@pytest.mark.parametrize("binary", [True, False])
+def test_ply_roundtrip(tmp_path, cloud, binary):
+    p = tmp_path / "c.ply"
+    write_ply(p, cloud, binary=binary)
+    back = read_ply(p)
+    np.testing.assert_allclose(back, cloud, rtol=1e-6)
+
+
+def test_ply_extra_properties_binary(tmp_path):
+    """A vertex element with extra scalar properties parses fine."""
+    import struct
+
+    header = (
+        b"ply\nformat binary_little_endian 1.0\n"
+        b"element vertex 2\n"
+        b"property float x\nproperty float y\nproperty float z\n"
+        b"property uchar red\nproperty uchar green\nproperty uchar blue\n"
+        b"end_header\n"
+    )
+    rec = struct.Struct("<fffBBB")
+    p = tmp_path / "c.ply"
+    with open(p, "wb") as fh:
+        fh.write(header)
+        fh.write(rec.pack(1.0, 2.0, 3.0, 255, 0, 0))
+        fh.write(rec.pack(4.0, 5.0, 6.0, 0, 255, 0))
+    assert read_ply(p).tolist() == [[1, 2, 3], [4, 5, 6]]
+
+
+def test_ply_rejects_bad_files(tmp_path):
+    p = tmp_path / "bad.ply"
+    p.write_bytes(b"not a ply\n")
+    with pytest.raises(ValueError, match="magic"):
+        read_ply(p)
+
+    p2 = tmp_path / "bad2.ply"
+    p2.write_bytes(
+        b"ply\nformat binary_big_endian 1.0\nelement vertex 0\n"
+        b"property float x\nproperty float y\nproperty float z\nend_header\n"
+    )
+    with pytest.raises(ValueError, match="unsupported"):
+        read_ply(p2)
+
+
+def test_ply_truncated(tmp_path, cloud):
+    p = tmp_path / "c.ply"
+    write_ply(p, cloud, binary=True)
+    data = p.read_bytes()
+    p.write_bytes(data[:-8])
+    with pytest.raises(ValueError, match="truncated"):
+        read_ply(p)
+
+
+def test_write_ply_validates(tmp_path):
+    with pytest.raises(ValueError):
+        write_ply(tmp_path / "x.ply", np.zeros((3, 2)))
+
+
+def test_ply_searchable_end_to_end(tmp_path, cloud):
+    """Loaded clouds feed straight into the engine."""
+    from repro import RTNNEngine
+
+    p = tmp_path / "c.ply"
+    write_ply(p, cloud)
+    pts = read_ply(p)
+    res = RTNNEngine(pts).knn_search(pts[:5], k=3, radius=0.5)
+    assert res.counts.max() > 0

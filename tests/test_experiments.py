@@ -1,0 +1,138 @@
+"""Experiment runners at tiny scale: structure + key paper shapes."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    approx_ablation,
+    fig05_coherence,
+    fig06_microarch,
+    fig07_aabb_time,
+    fig08_is_calls,
+    fig11_speedup,
+    fig12_breakdown,
+    fig13_ablation,
+    fig14_sensitivity,
+    fig15_bvh_build,
+    fig16_partition_dist,
+    micro_step_costs,
+)
+from repro.experiments.harness import annotate_speedup, format_table
+
+
+def test_format_table_mixed_keys():
+    s = format_table([{"a": 1.0}, {"a": 2.0, "b": "x"}])
+    assert "a" in s and "b" in s
+
+
+def test_annotate_speedup():
+    assert annotate_speedup(1.0, 2.0) == "2.0x"
+    assert annotate_speedup(1.0, 2.0, oom=True) == "OOM"
+    assert annotate_speedup(1.0, 5000.0) == "DNF"
+
+
+def test_fig05_ordered_faster():
+    rows = fig05_coherence.run(sizes=(2000,), scale=1.0)
+    assert rows[0]["slowdown_random"] > 1.0
+
+
+def test_fig06_shapes():
+    rows = fig06_microarch.run(n=3000, scale=1.0)
+    by = {r["mapping"]: r for r in rows}
+    assert by["ordered"]["l1_hit_rate"] > by["random"]["l1_hit_rate"]
+    assert by["ordered"]["sm_occupancy"] > by["random"]["sm_occupancy"]
+
+
+def test_fig07_time_grows_with_width():
+    rows = fig07_aabb_time.run(widths=(0.5, 4.0, 16.0), n=2000, scale=1.0)
+    times = [r["search_ms"] for r in rows]
+    assert times[0] < times[-1]
+
+
+def test_fig08_superlinear():
+    rows = fig08_is_calls.run(widths=(0.5, 2.0, 8.0), n=2000, scale=1.0)
+    exp = fig08_is_calls.growth_exponent(
+        [r["aabb_width"] for r in rows], [r["is_calls"] for r in rows]
+    )
+    assert exp > 1.2  # super-linear (cubic until scene saturation)
+
+
+def test_fig11_rows_and_annotations():
+    rows = fig11_speedup.run(datasets=["Bunny-360K"], scale=0.15)
+    assert len(rows) == 2
+    for r in rows:
+        assert r["rtnn_ms"] > 0
+    summary = fig11_speedup.summarize(rows)
+    assert all(v > 0 for v in summary.values())
+
+
+def test_fig12_fractions_sum():
+    rows = fig12_breakdown.run(datasets=["Bunny-360K"], scale=0.15)
+    for r in rows:
+        total = sum(r[f"{c}_frac"] for c in ("data", "opt", "bvh", "fs", "search"))
+        assert total == pytest.approx(1.0)
+    knn = next(r for r in rows if r["type"] == "knn")
+    rng_ = next(r for r in rows if r["type"] == "range")
+    # KNN spends a larger search fraction than range (paper §6.2)
+    assert knn["search_frac"] > rng_["search_frac"]
+
+
+def test_fig13_noopt_slowest():
+    rows = fig13_ablation.run(datasets=("KITTI-12M",), scale=0.05, kinds=("knn",))
+    r = rows[0]
+    assert r["noopt"] > r["sched"]
+    assert r["oracle"] <= min(r["sched"], r["sched+part+bundle"]) + 1e-12
+
+
+def test_fig14_sweeps_run():
+    rows_r = fig14_sensitivity.run_radius_sweep(radii=(0.1, 0.3), scale=0.08)
+    assert len(rows_r) == 2
+    rows_k = fig14_sensitivity.run_k_sweep(ks=(1, 8), scale=0.08)
+    assert "pcloctree_x" in rows_k[0] and "pcloctree_x" not in rows_k[1]
+
+
+def test_fig15_linear_fit():
+    # Wall-clock timing is load-sensitive (CI contention); min-of-5
+    # repeats plus a modest threshold keeps the check meaningful
+    # without being flaky. The benchmark suite asserts the tight bound.
+    rows = fig15_bvh_build.run(sizes=(2000, 4000, 8000, 16000), scale=1.0, repeats=5)
+    f = fig15_bvh_build.fit(rows)
+    assert f.r_squared > 0.9
+    assert f.slope > 0
+    fm = fig15_bvh_build.fit(rows, column="modeled_ms")
+    assert fm.r_squared > 0.999999  # modeled time exactly linear
+
+
+def test_fig16_inverse_correlation():
+    rows = fig16_partition_dist.run(dataset="KITTI-12M", scale=0.1)
+    assert len(rows) >= 3
+    rho = fig16_partition_dist.correlation(rows)
+    assert rho < 0  # inverse correlation (paper's Fig. 16)
+
+
+def test_micro_cost_ratios():
+    ratios = micro_step_costs.cost_ratios()
+    assert ratios["k1_over_k3_fast"] > ratios["k1_over_k3_test"]
+    assert 1.5 <= ratios["knn_over_range_test"] <= 6.0
+
+
+def test_micro_tmax_sweep():
+    rows = micro_step_costs.run_tmax_sweep(
+        t_maxes=(1e-16, 1.0), n=1500, scale=1.0
+    )
+    assert rows[1]["is_calls"] > rows[0]["is_calls"]  # long rays: false positives
+    assert all(r["results_match_short_ray"] for r in rows)  # same answers
+
+
+def test_approx_elide_bound():
+    out = approx_ablation.run_elide_sphere_test(dataset="Bunny-360K", scale=0.2)
+    assert out["bound_holds"]
+    assert out["approx_ms"] < out["exact_ms"]
+
+
+def test_approx_shrink_recall_monotone():
+    rows = approx_ablation.run_shrunk_aabb(
+        shrink_factors=(1.0, 0.5), dataset="Bunny-360K", k=4, scale=0.2
+    )
+    assert rows[0]["recall"] >= rows[1]["recall"]
+    assert rows[1]["modeled_ms"] <= rows[0]["modeled_ms"] * 1.05

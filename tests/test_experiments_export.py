@@ -1,0 +1,37 @@
+"""Experiment-row export tests."""
+
+import csv
+
+from repro.experiments.export import read_rows, write_csv, write_json
+
+
+ROWS = [
+    {"dataset": "A", "speedup": 2.5},
+    {"dataset": "B", "speedup": 1.0, "note": "OOM"},
+]
+
+
+def test_csv_roundtrip(tmp_path):
+    p = tmp_path / "rows.csv"
+    write_csv(p, ROWS)
+    with open(p) as fh:
+        back = list(csv.DictReader(fh))
+    assert back[0]["dataset"] == "A"
+    assert float(back[0]["speedup"]) == 2.5
+    assert back[0]["note"] == ""  # union of columns, missing -> empty
+    assert back[1]["note"] == "OOM"
+
+
+def test_json_roundtrip(tmp_path):
+    p = tmp_path / "rows.json"
+    write_json(p, ROWS)
+    assert read_rows(p) == ROWS
+
+
+def test_export_real_experiment(tmp_path):
+    from repro.experiments import fig16_partition_dist
+
+    rows = fig16_partition_dist.run(dataset="Bunny-360K", scale=0.1)
+    write_csv(tmp_path / "fig16.csv", rows)
+    write_json(tmp_path / "fig16.json", rows)
+    assert len(read_rows(tmp_path / "fig16.json")) == len(rows)

@@ -1,0 +1,56 @@
+"""Failure injection: corrupted structures must be caught, not searched."""
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_lbvh, trace_batch, validate_bvh
+from repro.geometry.aabb import aabbs_from_points
+from repro.optix.shaders import CountingShader
+
+
+@pytest.fixture()
+def bvh():
+    pts = np.random.default_rng(0).random((100, 3))
+    lo, hi = aabbs_from_points(pts, 0.05)
+    return build_lbvh(lo, hi, leaf_size=2)
+
+
+def test_validate_catches_shrunk_node_bounds(bvh):
+    bvh.node_lo[0] += 0.5  # root no longer encloses its primitives
+    with pytest.raises(AssertionError):
+        validate_bvh(bvh)
+
+
+def test_validate_catches_broken_child_ranges(bvh):
+    internal = np.flatnonzero(~bvh.is_leaf)[0]
+    bvh.node_start[bvh.node_left[internal]] += 1
+    with pytest.raises(AssertionError):
+        validate_bvh(bvh)
+
+
+def test_validate_catches_duplicate_prim(bvh):
+    bvh.prim_order[0] = bvh.prim_order[1]
+    with pytest.raises(AssertionError):
+        validate_bvh(bvh)
+
+
+def test_traversal_cycle_guard(bvh):
+    """A topology cycle must raise, not hang."""
+    internal = np.flatnonzero(~bvh.is_leaf)[0]
+    bvh.node_left[internal] = 0  # child points back at the root
+    rays = np.random.default_rng(1).random((8, 3))
+    dirs = np.broadcast_to(np.array([1.0, 0.0, 0.0]), rays.shape).copy()
+    with pytest.raises(RuntimeError, match="cycle"):
+        trace_batch(bvh, rays, dirs, 0.0, 1e-16, CountingShader(8),
+                    max_iterations=500)
+
+
+def test_shader_exception_propagates(bvh):
+    def broken(ray_ids, prim_ids):
+        raise ZeroDivisionError("shader bug")
+
+    # Rays at the primitive centers are guaranteed to hit.
+    rays = 0.5 * (bvh.prim_lo[:8] + bvh.prim_hi[:8])
+    dirs = np.broadcast_to(np.array([1.0, 0.0, 0.0]), rays.shape).copy()
+    with pytest.raises(ZeroDivisionError):
+        trace_batch(bvh, rays, dirs, 0.0, 1e-16, broken)

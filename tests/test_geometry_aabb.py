@@ -1,0 +1,145 @@
+"""Unit tests for AABB kernels and the two ray-AABB conditions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+import hypothesis.extra.numpy as hnp
+
+from repro.geometry.aabb import (
+    aabb_contains,
+    aabb_surface_area,
+    aabb_union,
+    aabb_volume,
+    aabbs_from_points,
+    ray_aabb_intersect,
+    scene_bounds,
+)
+
+finite = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+
+
+def test_aabbs_from_points_width():
+    pts = np.array([[0.0, 0.0, 0.0], [1.0, 2.0, 3.0]])
+    lo, hi = aabbs_from_points(pts, 0.5)
+    assert np.allclose(hi - lo, 1.0)
+    assert np.allclose((lo + hi) / 2, pts)
+
+
+def test_aabbs_from_points_rejects_bad_width():
+    with pytest.raises(ValueError):
+        aabbs_from_points(np.zeros((2, 3)), 0.0)
+    with pytest.raises(ValueError):
+        aabbs_from_points(np.zeros((2, 3)), -1.0)
+
+
+def test_union_encloses_all():
+    rng = np.random.default_rng(0)
+    lo = rng.random((20, 3))
+    hi = lo + rng.random((20, 3))
+    ulo, uhi = aabb_union(lo, hi)
+    assert (ulo <= lo).all() and (uhi >= hi).all()
+
+
+def test_contains_boundary_closed():
+    lo = np.array([[0.0, 0.0, 0.0]])
+    hi = np.array([[1.0, 1.0, 1.0]])
+    on_face = np.array([[1.0, 0.5, 0.5]])
+    assert aabb_contains(lo, hi, on_face).all()
+    outside = np.array([[1.0 + 1e-12, 0.5, 0.5]])
+    assert not aabb_contains(lo, hi, outside).any()
+
+
+def test_volume_and_area():
+    lo = np.array([[0.0, 0.0, 0.0]])
+    hi = np.array([[1.0, 2.0, 3.0]])
+    assert np.isclose(aabb_volume(lo, hi), 6.0)
+    assert np.isclose(aabb_surface_area(lo, hi), 22.0)
+
+
+def test_volume_degenerate_is_zero():
+    lo = np.array([[1.0, 1.0, 1.0]])
+    hi = np.array([[0.0, 0.0, 0.0]])
+    assert aabb_volume(lo, hi) == 0.0
+
+
+def test_scene_bounds_pad():
+    pts = np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]])
+    lo, hi = scene_bounds(pts, pad=0.5)
+    assert np.allclose(lo, -0.5) and np.allclose(hi, 1.5)
+
+
+def test_scene_bounds_empty_raises():
+    with pytest.raises(ValueError):
+        scene_bounds(np.zeros((0, 3)))
+
+
+# ---------------------------------------------------------------------
+# ray-AABB: condition 1 (slab hit within segment)
+# ---------------------------------------------------------------------
+def test_condition1_hit_within_segment():
+    o = np.array([[-1.0, 0.5, 0.5]])
+    d = np.array([[1.0, 0.0, 0.0]])
+    lo = np.array([[0.0, 0.0, 0.0]])
+    hi = np.array([[1.0, 1.0, 1.0]])
+    assert ray_aabb_intersect(o, d, 0.0, 10.0, lo, hi).all()
+    # segment too short to reach the box
+    assert not ray_aabb_intersect(o, d, 0.0, 0.5, lo, hi).any()
+
+
+def test_condition1_behind_ray_misses():
+    o = np.array([[2.0, 0.5, 0.5]])
+    d = np.array([[1.0, 0.0, 0.0]])  # box is behind
+    lo = np.array([[0.0, 0.0, 0.0]])
+    hi = np.array([[1.0, 1.0, 1.0]])
+    assert not ray_aabb_intersect(o, d, 0.0, 10.0, lo, hi).any()
+
+
+# ---------------------------------------------------------------------
+# ray-AABB: condition 2 (origin inside, even with tiny t_max)
+# ---------------------------------------------------------------------
+def test_condition2_origin_inside_short_ray():
+    o = np.array([[0.5, 0.5, 0.5]])
+    d = np.array([[1.0, 0.0, 0.0]])
+    lo = np.array([[0.0, 0.0, 0.0]])
+    hi = np.array([[1.0, 1.0, 1.0]])
+    assert ray_aabb_intersect(o, d, 0.0, 1e-16, lo, hi).all()
+
+
+def test_short_ray_outside_misses():
+    o = np.array([[1.5, 0.5, 0.5]])
+    d = np.array([[1.0, 0.0, 0.0]])
+    lo = np.array([[0.0, 0.0, 0.0]])
+    hi = np.array([[1.0, 1.0, 1.0]])
+    assert not ray_aabb_intersect(o, d, 0.0, 1e-16, lo, hi).any()
+
+
+def test_zero_direction_component_on_slab():
+    # Origin exactly on a slab plane with zero direction there: the nan
+    # guard must treat that axis as non-constraining.
+    o = np.array([[0.0, 0.5, 0.5]])
+    d = np.array([[0.0, 1.0, 0.0]])
+    lo = np.array([[0.0, 0.0, 0.0]])
+    hi = np.array([[1.0, 1.0, 1.0]])
+    assert ray_aabb_intersect(o, d, 0.0, 10.0, lo, hi).all()
+
+
+@given(
+    origin=hnp.arrays(np.float64, (3,), elements=finite),
+    half=st.floats(0.01, 10.0),
+    center=hnp.arrays(np.float64, (3,), elements=finite),
+)
+def test_property_condition2_matches_containment(origin, half, center):
+    """With short rays, intersection <=> origin-in-box, for any box."""
+    lo = (center - half)[None, :]
+    hi = (center + half)[None, :]
+    o = origin[None, :]
+    d = np.array([[1.0, 0.0, 0.0]])
+    hit = ray_aabb_intersect(o, d, 0.0, 1e-16, lo, hi)[0]
+    inside = bool(np.logical_and(o >= lo, o <= hi).all())
+    if inside:
+        assert hit  # Condition 2 is unconditional
+    elif hit:
+        # A Condition-1 hit with a 1e-16 segment needs the box entry
+        # within 1e-16 of the origin — only possible on the boundary.
+        gap = np.maximum(np.maximum(lo - o, o - hi), 0.0).max()
+        assert gap <= 1e-12

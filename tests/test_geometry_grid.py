@@ -1,0 +1,81 @@
+"""Uniform-grid binning tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.grid import UniformGrid
+
+
+@pytest.fixture(scope="module")
+def grid(request):
+    rng = np.random.default_rng(7)
+    pts = rng.random((500, 3))
+    return UniformGrid(pts, cell_size=0.1), pts
+
+
+def test_all_points_binned(grid):
+    g, pts = grid
+    assert g.cell_count.sum() == len(pts)
+    assert sorted(g.point_order.tolist()) == list(range(len(pts)))
+
+
+def test_cells_contain_their_points(grid):
+    g, pts = grid
+    for flat in np.flatnonzero(g.cell_count > 0)[:50]:
+        ids = g.points_in_cell(flat)
+        coords = g.cell_coords(pts[ids])
+        assert (g.flatten(coords) == flat).all()
+
+
+def test_cell_coords_clamped(grid):
+    g, _ = grid
+    far = np.array([[10.0, -5.0, 0.5]])
+    c = g.cell_coords(far)
+    assert (c >= 0).all() and (c < g.res).all()
+
+
+def test_count_in_boxes_matches_bincount(grid):
+    g, pts = grid
+    rng = np.random.default_rng(1)
+    lo = rng.integers(0, g.res, (30, 3))
+    hi = np.minimum(lo + rng.integers(0, 4, (30, 3)), g.res - 1)
+    got = g.count_in_boxes(lo, hi)
+    for i in range(30):
+        coords = g.cell_coords(pts)
+        inside = np.logical_and(coords >= lo[i], coords <= hi[i]).all(axis=1)
+        assert got[i] == inside.sum()
+
+
+def test_full_box_counts_everything(grid):
+    g, pts = grid
+    full = g.count_in_boxes(np.zeros((1, 3), dtype=np.int64), (g.res - 1)[None, :])
+    assert full[0] == len(pts)
+
+
+def test_neighbor_cells_dropped_at_boundary(grid):
+    g, _ = grid
+    ids = g.neighbor_cell_ids(np.array([0, 0, 0]), reach=1)
+    assert len(ids) == 8  # corner keeps only the in-grid octant
+
+
+def test_memory_cap_coarsens():
+    pts = np.random.default_rng(0).random((100, 3))
+    g = UniformGrid(pts, cell_size=1e-4, max_cells=1000)
+    assert g.n_cells <= 1000
+    assert g.cell_size > 1e-4
+
+
+def test_gather_cells(grid):
+    g, pts = grid
+    nonempty = np.flatnonzero(g.cell_count > 0)[:5]
+    gathered = g.gather_cells(nonempty)
+    assert len(gathered) == g.cell_count[nonempty].sum()
+
+
+def test_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        UniformGrid(np.zeros((0, 3)), 0.1)
+    with pytest.raises(ValueError):
+        UniformGrid(np.zeros((5, 3)), -1.0)
+    with pytest.raises(ValueError):
+        UniformGrid(np.zeros((5, 2)), 0.1)

@@ -1,0 +1,65 @@
+"""Summed-area-table tests, including a hypothesis equivalence property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+import hypothesis.extra.numpy as hnp
+
+from repro.geometry.sat import SummedAreaTable3D
+
+
+def test_single_cell():
+    dense = np.zeros((3, 3, 3), dtype=np.int64)
+    dense[1, 2, 0] = 5
+    sat = SummedAreaTable3D(dense)
+    assert sat.box_sums(np.array([1, 2, 0]), np.array([1, 2, 0])) == 5
+    assert sat.box_sums(np.array([0, 0, 0]), np.array([2, 2, 2])) == 5
+    assert sat.box_sums(np.array([2, 2, 2]), np.array([2, 2, 2])) == 0
+
+
+def test_total(rng=np.random.default_rng(0)):
+    dense = rng.integers(0, 10, (4, 5, 6))
+    sat = SummedAreaTable3D(dense)
+    assert sat.total == dense.sum()
+
+
+def test_inverted_box_is_zero():
+    sat = SummedAreaTable3D(np.ones((3, 3, 3), dtype=np.int64))
+    assert sat.box_sums(np.array([2, 0, 0]), np.array([1, 2, 2])) == 0
+
+
+def test_clipping_out_of_range():
+    dense = np.ones((3, 3, 3), dtype=np.int64)
+    sat = SummedAreaTable3D(dense)
+    # A huge box clips to the table and counts everything.
+    assert sat.box_sums(np.array([-5, -5, -5]), np.array([99, 99, 99])) == 27
+
+
+def test_batched_shapes():
+    sat = SummedAreaTable3D(np.ones((2, 2, 2), dtype=np.int64))
+    lo = np.zeros((7, 3), dtype=np.int64)
+    hi = np.ones((7, 3), dtype=np.int64)
+    out = sat.box_sums(lo, hi)
+    assert out.shape == (7,)
+    assert (out == 8).all()
+
+
+def test_rejects_non_3d():
+    with pytest.raises(ValueError):
+        SummedAreaTable3D(np.ones((2, 2)))
+
+
+@settings(max_examples=40)
+@given(
+    dense=hnp.arrays(np.int64, st.tuples(*(st.integers(1, 6),) * 3),
+                     elements=st.integers(0, 20)),
+    data=st.data(),
+)
+def test_property_equals_direct_sum(dense, data):
+    """box_sums == dense[lo:hi+1].sum() for arbitrary boxes."""
+    sat = SummedAreaTable3D(dense)
+    shape = dense.shape
+    lo = np.array([data.draw(st.integers(0, shape[d] - 1)) for d in range(3)])
+    hi = np.array([data.draw(st.integers(lo[d], shape[d] - 1)) for d in range(3)])
+    expect = dense[lo[0]:hi[0] + 1, lo[1]:hi[1] + 1, lo[2]:hi[2] + 1].sum()
+    assert sat.box_sums(lo, hi) == expect

@@ -1,0 +1,87 @@
+"""Cache-hierarchy and sampled-tracer tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.cache import (
+    CacheHierarchy,
+    IDS_PER_LINE,
+    SampledCacheTracer,
+    _SetAssociativeLRU,
+)
+
+
+def test_lru_hits_on_repeat():
+    c = _SetAssociativeLRU(n_sets=4, n_ways=2)
+    assert not c.access(0)       # cold miss
+    assert c.access(0)           # hit
+    assert c.stats.hits == 1 and c.stats.misses == 1
+
+
+def test_lru_eviction_order():
+    c = _SetAssociativeLRU(n_sets=1, n_ways=2)
+    c.access(0)
+    c.access(1)
+    c.access(0)        # refresh 0 -> 1 becomes LRU
+    c.access(2)        # evicts 1
+    assert c.access(0)
+    assert not c.access(1)
+
+
+def test_lru_set_isolation():
+    c = _SetAssociativeLRU(n_sets=2, n_ways=1)
+    c.access(0)  # set 0
+    c.access(1)  # set 1
+    assert c.access(0) and c.access(1)
+
+
+def test_lru_validation():
+    with pytest.raises(ValueError):
+        _SetAssociativeLRU(0, 1)
+
+
+def test_hierarchy_l2_catches_l1_miss():
+    h = CacheHierarchy(l1_kb=1, l2_kb=64, l2_share=1.0)
+    # Touch enough distinct lines to overflow L1 (8 lines) but not L2.
+    for line in range(32):
+        h.access(line)
+    for line in range(32):
+        h.access(line)
+    assert h.l1_stats.hit_rate < 1.0
+    assert h.l2_stats.hits > 0
+
+
+def test_tracer_sampled_block_contiguous():
+    t = SampledCacheTracer(n_rays=32 * 100, max_warps=8)
+    assert len(t.sampled) == 8
+    assert (np.diff(t.sampled) == 1).all()
+    assert np.isclose(t.sample_fraction, 8 / 100)
+
+
+def test_tracer_small_launch_samples_everything():
+    t = SampledCacheTracer(n_rays=64, max_warps=8)
+    assert t.sample_fraction == 1.0
+
+
+def test_tracer_coherent_hits_more_than_random():
+    n_rays = 32 * 32
+    coh = SampledCacheTracer(n_rays)
+    rnd = SampledCacheTracer(n_rays)
+    rng = np.random.default_rng(0)
+    rays = np.arange(n_rays)
+    for it in range(40):
+        # coherent: whole warp reads the same node
+        nodes_c = np.repeat(np.arange(n_rays // 32) * 7 + it, 32)
+        coh.on_node_access(it, rays, nodes_c)
+        # random: every lane somewhere else
+        nodes_r = rng.integers(0, 100_000, n_rays)
+        rnd.on_node_access(it, rays, nodes_r)
+    assert coh.l1_hit_rate > rnd.l1_hit_rate + 0.3
+
+
+def test_tracer_scaled_misses():
+    t = SampledCacheTracer(n_rays=32 * 16, max_warps=8)
+    rays = np.arange(32 * 16)
+    t.on_node_access(0, rays, np.arange(32 * 16) * IDS_PER_LINE)
+    # half the warps sampled -> misses scale by 2
+    assert t.scaled_l1_misses() == t.hier.l1_stats.misses * 2

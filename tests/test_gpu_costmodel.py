@@ -1,0 +1,80 @@
+"""Cost-model tests: device scaling and the paper's cost ratios."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.costmodel import CostModel, IsKind, IS_WARP_CYCLES, RT_WARP_CYCLES
+from repro.gpu.device import RTX_2080, RTX_2080TI
+
+
+def test_build_time_linear():
+    cm = CostModel(RTX_2080)
+    t1 = cm.bvh_build_time(1000)
+    t2 = cm.bvh_build_time(2000)
+    assert np.isclose(t2, 2 * t1)
+
+
+def test_faster_device_builds_faster():
+    assert CostModel(RTX_2080TI).bvh_build_time(10**6) < CostModel(
+        RTX_2080
+    ).bvh_build_time(10**6)
+
+
+def test_is_cost_ordering():
+    """FIRST_HIT < RANGE_FAST < RANGE_TEST < KNN (paper's cost ladder)."""
+    cm = CostModel(RTX_2080)
+    costs = [
+        cm.is_cost_per_call(k)
+        for k in (IsKind.FIRST_HIT, IsKind.RANGE_FAST, IsKind.RANGE_TEST, IsKind.KNN)
+    ]
+    assert costs == sorted(costs)
+
+
+def test_knn_is_3_to_6x_range_test():
+    """§6.3: KNN IS is 3-6x the sphere-testing range IS."""
+    ratio = IS_WARP_CYCLES[IsKind.KNN] / IS_WARP_CYCLES[IsKind.RANGE_TEST]
+    assert 1.5 <= ratio <= 6.0
+
+
+def test_fast_is_much_cheaper_than_test():
+    """App. A: skipping the sphere test is a big per-call saving."""
+    ratio = IS_WARP_CYCLES[IsKind.RANGE_TEST] / IS_WARP_CYCLES[IsKind.RANGE_FAST]
+    assert ratio >= 3.0
+
+
+def test_is_call_more_expensive_than_traversal_step():
+    """§3.1: Step 2 an order of magnitude costlier than Step 1."""
+    assert IS_WARP_CYCLES[IsKind.KNN] / RT_WARP_CYCLES >= 10
+
+
+def test_mem_time_decreases_with_hits():
+    cm = CostModel(RTX_2080)
+    assert cm.mem_time(1000, 0.9, 0.9) < cm.mem_time(1000, 0.1, 0.1)
+
+
+def test_transfer_time():
+    cm = CostModel(RTX_2080)
+    assert np.isclose(cm.transfer_time(12_000_000_000), 1.0)
+
+
+def test_launch_cost_without_tracer_uses_defaults():
+    from repro.bvh.traverse import TraceResult
+
+    trace = TraceResult(
+        steps=np.array([10, 10]),
+        is_calls=np.array([2, 2]),
+        prim_tests_per_ray=np.array([0, 0]),
+        iterations=10,
+        warp_traversal_steps=10,
+        warp_is_steps=2,
+        prim_test_warp_steps=0,
+        node_transactions=20,
+        prim_transactions=4,
+        n_rays=2,
+        warp_size=32,
+    )
+    cm = CostModel(RTX_2080)
+    cost = cm.launch_cost(trace, IsKind.KNN)
+    assert cost.total > 0
+    assert 0 <= cost.stall_fraction <= 1
+    assert cost.l1_hit_rate == pytest.approx(0.55)

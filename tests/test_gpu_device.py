@@ -1,0 +1,44 @@
+"""Device-spec tests."""
+
+import pytest
+
+from repro.gpu.device import DeviceSpec, KNOWN_DEVICES, RTX_2080, RTX_2080TI
+
+
+def test_paper_specs():
+    """Section 6.1's published board specs."""
+    assert RTX_2080.n_rt_cores == 46
+    assert RTX_2080.n_cuda_cores == 2944
+    assert RTX_2080.mem_bytes == 8 * 1024**3
+    assert RTX_2080TI.n_rt_cores == 68
+    assert RTX_2080TI.n_cuda_cores == 4352
+    assert RTX_2080TI.mem_bytes == 11 * 1024**3
+
+
+def test_turing_ratios():
+    for d in (RTX_2080, RTX_2080TI):
+        assert d.n_cuda_cores == 64 * d.n_sms   # 64 CUDA cores per SM
+        assert d.n_rt_cores == d.n_sms          # 1 RT core per SM
+
+
+def test_cycle():
+    assert RTX_2080.cycle == pytest.approx(1.0 / 1.71e9)
+
+
+def test_registry():
+    assert KNOWN_DEVICES["RTX 2080"] is RTX_2080
+    assert len(KNOWN_DEVICES) == 2
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        RTX_2080.n_sms = 1  # frozen dataclass
+
+
+def test_custom_device():
+    d = DeviceSpec(
+        name="Toy", n_sms=2, n_rt_cores=2, n_cuda_cores=128,
+        clock_hz=1e9, mem_bytes=1 << 30, dram_bw=1e11, l2_bw=1e12,
+        l1_kb=64, l2_kb=512,
+    )
+    assert d.warp_size == 32

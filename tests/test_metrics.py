@@ -1,0 +1,63 @@
+"""Metrics tests: breakdowns, fits, geomeans."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import Breakdown, LinearFit, geomean, linear_fit
+
+
+def test_breakdown_total_and_add():
+    a = Breakdown(data=1, opt=2, bvh=3, fs=4, search=5)
+    assert a.total == 15
+    b = a + Breakdown(search=5)
+    assert b.search == 10 and b.total == 20
+    assert a.search == 5  # addition does not mutate
+
+
+def test_breakdown_fractions():
+    a = Breakdown(data=1, search=3)
+    f = a.fractions()
+    assert f["data"] == pytest.approx(0.25)
+    assert f["search"] == pytest.approx(0.75)
+    assert Breakdown().fractions()["search"] == 0.0
+
+
+def test_breakdown_as_dict():
+    d = Breakdown(data=1).as_dict()
+    assert d["total"] == 1 and set(d) == {"data", "opt", "bvh", "fs", "search", "total"}
+
+
+def test_linear_fit_exact():
+    f = linear_fit([1, 2, 3, 4], [3, 5, 7, 9])
+    assert f.slope == pytest.approx(2.0)
+    assert f.intercept == pytest.approx(1.0)
+    assert f.r_squared == pytest.approx(1.0)
+    assert f.predict(5) == pytest.approx(11.0)
+
+
+def test_linear_fit_noisy_r2():
+    rng = np.random.default_rng(0)
+    x = np.linspace(0, 10, 50)
+    y = 2 * x + rng.normal(0, 5, 50)
+    f = linear_fit(x, y)
+    assert 0.0 < f.r_squared < 1.0
+
+
+def test_linear_fit_validation():
+    with pytest.raises(ValueError):
+        linear_fit([1], [2])
+    with pytest.raises(ValueError):
+        linear_fit([1, 2], [1, 2, 3])
+
+
+def test_geomean():
+    assert geomean([1, 100]) == pytest.approx(10.0)
+    assert geomean([5]) == pytest.approx(5.0)
+    with pytest.raises(ValueError):
+        geomean([])
+    with pytest.raises(ValueError):
+        geomean([1.0, -1.0])
+
+
+def test_linear_fit_type():
+    assert isinstance(linear_fit([0, 1], [0, 1]), LinearFit)

@@ -1,0 +1,61 @@
+"""Odds and ends: env plumbing, CLI experiment dispatch, helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import env_scale
+from repro.experiments.fig05_coherence import grid_queries
+
+
+def test_env_scale_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert env_scale(0.5) == 0.5
+
+
+def test_env_scale_parses(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.33")
+    assert env_scale() == pytest.approx(0.33)
+
+
+def test_env_scale_invalid_falls_back(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "lots")
+    assert env_scale(2.0) == 2.0
+
+
+def test_grid_queries_raster_coherence(rng):
+    pts = rng.random((2000, 3))
+    q = grid_queries(pts, 1000, seed=1)
+    assert q.shape == (1000, 3)
+    # raster ordering: adjacent queries are much closer than random pairs
+    adj = np.linalg.norm(np.diff(q, axis=0), axis=1).mean()
+    shuffled = q[rng.permutation(len(q))]
+    rand = np.linalg.norm(np.diff(shuffled, axis=0), axis=1).mean()
+    assert adj < rand
+
+
+def test_cli_experiments_only_section(capsys):
+    import os
+
+    from repro.cli import main
+
+    main(["experiments", "--only", "fig15", "--scale", "0.5"])
+    out = capsys.readouterr().out
+    assert "BVH construction time" in out
+    assert os.environ.get("REPRO_SCALE") == "0.5"
+    os.environ.pop("REPRO_SCALE", None)
+
+
+def test_variants_registry():
+    from repro import VARIANTS
+
+    assert set(VARIANTS) == {"noopt", "sched", "sched+part", "sched+part+bundle"}
+    assert not VARIANTS["noopt"].schedule
+    assert VARIANTS["sched+part"].partition and not VARIANTS["sched+part"].bundle
+
+
+def test_package_exports():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+    assert repro.__version__ == "1.0.0"

@@ -1,0 +1,94 @@
+"""OptiX-layer tests: GAS building and pipeline launches."""
+
+import numpy as np
+import pytest
+
+from repro.bvh.stats import validate_bvh
+from repro.gpu.costmodel import IsKind
+from repro.gpu.device import RTX_2080TI
+from repro.geometry.ray import short_rays_from_queries
+from repro.optix import CountingShader, Pipeline, build_gas
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = np.random.default_rng(5)
+    pts = rng.random((600, 3))
+    q = rng.random((200, 3))
+    return pts, q
+
+
+def test_build_gas(world):
+    pts, _ = world
+    pipe = Pipeline()
+    gas = build_gas(pts, 0.05, pipe.cost_model)
+    assert gas.n_prims == 600
+    assert gas.aabb_width == pytest.approx(0.1)
+    assert gas.build_time > 0
+    validate_bvh(gas.bvh)
+
+
+def test_launch_counts(world):
+    pts, q = world
+    pipe = Pipeline()
+    gas = build_gas(pts, 0.05, pipe.cost_model)
+    shader = CountingShader(len(q))
+    res = pipe.launch(gas, short_rays_from_queries(q), shader, IsKind.RANGE_TEST)
+    cheb = np.abs(q[:, None, :] - pts[None, :, :]).max(axis=2)
+    assert (shader.calls == (cheb <= 0.05).sum(axis=1)).all()
+    assert res.modeled_time > 0
+    assert res.l1_hit_rate is not None
+
+
+def test_launch_no_cache_sim(world):
+    pts, q = world
+    pipe = Pipeline(cache_sim=False)
+    gas = build_gas(pts, 0.05, pipe.cost_model)
+    res = pipe.launch(
+        gas, short_rays_from_queries(q), CountingShader(len(q)), IsKind.KNN
+    )
+    assert res.l1_hit_rate is None
+    assert res.modeled_time > 0
+
+
+def test_launch_empty(world):
+    pts, _ = world
+    pipe = Pipeline()
+    gas = build_gas(pts, 0.05, pipe.cost_model)
+    res = pipe.launch(
+        gas,
+        short_rays_from_queries(np.zeros((0, 3))),
+        CountingShader(0),
+        IsKind.KNN,
+    )
+    assert res.trace.n_rays == 0
+    assert res.modeled_time == 0
+
+
+def test_device_binding(world):
+    pts, q = world
+    fast = Pipeline(device=RTX_2080TI)
+    slow = Pipeline()
+    g_fast = build_gas(pts, 0.05, fast.cost_model)
+    g_slow = build_gas(pts, 0.05, slow.cost_model)
+    assert g_fast.build_time < g_slow.build_time
+    r_fast = fast.launch(
+        g_fast, short_rays_from_queries(q), CountingShader(len(q)), IsKind.KNN
+    )
+    r_slow = slow.launch(
+        g_slow, short_rays_from_queries(q), CountingShader(len(q)), IsKind.KNN
+    )
+    assert r_fast.trace.total_is_calls == r_slow.trace.total_is_calls
+
+
+def test_is_kind_changes_cost_only(world):
+    pts, q = world
+    pipe = Pipeline(cache_sim=False)
+    gas = build_gas(pts, 0.05, pipe.cost_model)
+    costs = {}
+    for kind in (IsKind.RANGE_FAST, IsKind.RANGE_TEST, IsKind.KNN):
+        res = pipe.launch(
+            gas, short_rays_from_queries(q), CountingShader(len(q)), kind
+        )
+        costs[kind] = res.cost.is_time
+    assert costs[IsKind.RANGE_FAST] < costs[IsKind.RANGE_TEST] < costs[IsKind.KNN]

@@ -1,0 +1,49 @@
+"""Fig. 1b-style timeline recorder tests."""
+
+import numpy as np
+
+from repro.geometry.ray import short_rays_from_queries
+from repro.optix import CountingShader, Pipeline, build_gas
+from repro.optix.timeline import record_timelines, render_timelines
+
+
+def _world():
+    rng = np.random.default_rng(6)
+    pts = rng.random((300, 3))
+    q = rng.random((40, 3))
+    pipe = Pipeline(cache_sim=False)
+    gas = build_gas(pts, 0.08, pipe.cost_model, leaf_size=1)
+    return pts, q, gas
+
+
+def test_timeline_counts_match_trace():
+    pts, q, gas = _world()
+    rays = short_rays_from_queries(q)
+    shader = CountingShader(len(q))
+    tls = record_timelines(gas, rays, shader, watch=range(len(q)))
+    # TL events per ray == node pops; IS events == shader calls
+    cheb = np.abs(q[:, None] - pts[None]).max(axis=2)
+    expect_is = (cheb <= 0.08).sum(axis=1)
+    for tl in tls:
+        assert sum(1 for e in tl.events if e == "IS") == expect_is[tl.ray_id]
+        assert shader.calls[tl.ray_id] == expect_is[tl.ray_id]
+
+
+def test_timeline_render():
+    pts, q, gas = _world()
+    rays = short_rays_from_queries(q)
+    tls = record_timelines(gas, rays, CountingShader(len(q)), watch=(0, 3))
+    text = render_timelines(tls)
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("ray    0 | RG")
+    assert "steps" in lines[0]
+    # run-length compression: long traversal bursts collapse
+    assert "TLx" in text
+
+
+def test_timeline_watch_subset_only():
+    pts, q, gas = _world()
+    rays = short_rays_from_queries(q)
+    tls = record_timelines(gas, rays, CountingShader(len(q)), watch=(5,))
+    assert len(tls) == 1 and tls[0].ray_id == 5

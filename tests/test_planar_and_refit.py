@@ -1,0 +1,99 @@
+"""2-D planar search and BVH refit tests."""
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_lbvh, build_median_split, refit_bvh, validate_bvh
+from repro.core import PlanarRTNN
+from repro.geometry.aabb import aabbs_from_points
+
+
+# ---------------------------------------------------------------------
+# PlanarRTNN
+# ---------------------------------------------------------------------
+def _brute_2d(pts, q, r, k):
+    d = np.linalg.norm(pts[None, :, :] - q[:, None, :], axis=2)
+    out = []
+    for row in d:
+        ids = np.flatnonzero(row <= r)
+        out.append(set(ids[np.argsort(row[ids])][:k].tolist()))
+    return out
+
+
+def test_planar_knn_exact():
+    rng = np.random.default_rng(0)
+    pts = rng.random((800, 2))
+    q = rng.random((150, 2))
+    r, k = 0.1, 5
+    res = PlanarRTNN(pts).knn_search(q, k=k, radius=r)
+    ref = _brute_2d(pts, q, r, k)
+    for i in range(len(q)):
+        assert set(res.indices[i][: res.counts[i]].tolist()) == ref[i]
+
+
+def test_planar_range_counts():
+    rng = np.random.default_rng(1)
+    pts = rng.random((600, 2))
+    q = rng.random((100, 2))
+    r = 0.12
+    res = PlanarRTNN(pts).range_search(q, radius=r, k=1000)
+    d = np.linalg.norm(pts[None] - q[:, None], axis=2)
+    assert (res.counts == (d <= r).sum(axis=1)).all()
+
+
+def test_planar_rejects_3d():
+    with pytest.raises(ValueError):
+        PlanarRTNN(np.zeros((5, 3)))
+    p = PlanarRTNN(np.random.default_rng(0).random((10, 2)))
+    with pytest.raises(ValueError):
+        p.knn_search(np.zeros((2, 3)), k=1, radius=0.1)
+
+
+def test_planar_report_present():
+    pts = np.random.default_rng(2).random((200, 2))
+    res = PlanarRTNN(pts).knn_search(pts[:10], k=3, radius=0.2)
+    assert res.report.modeled_time > 0
+
+
+# ---------------------------------------------------------------------
+# refit
+# ---------------------------------------------------------------------
+@pytest.mark.parametrize("builder", [build_lbvh, build_median_split])
+def test_refit_matches_rebuild_bounds(builder):
+    rng = np.random.default_rng(3)
+    pts = rng.random((300, 3))
+    lo, hi = aabbs_from_points(pts, 0.05)
+    bvh = builder(lo, hi, leaf_size=3)
+    moved = pts + rng.normal(0, 0.02, pts.shape)
+    nlo, nhi = aabbs_from_points(moved, 0.05)
+    refit_bvh(bvh, nlo, nhi)
+    validate_bvh(bvh)  # all invariants hold on the refitted tree
+
+
+def test_refit_traversal_still_exact():
+    from repro.bvh import trace_batch
+    from repro.optix.shaders import CountingShader
+
+    rng = np.random.default_rng(4)
+    pts = rng.random((400, 3))
+    lo, hi = aabbs_from_points(pts, 0.06)
+    bvh = build_lbvh(lo, hi, leaf_size=2)
+    moved = pts + rng.normal(0, 0.05, pts.shape)
+    refit_bvh(bvh, *aabbs_from_points(moved, 0.06))
+
+    rays = rng.random((100, 3))
+    dirs = np.broadcast_to(np.array([1.0, 0.0, 0.0]), rays.shape).copy()
+    shader = CountingShader(100)
+    trace_batch(bvh, rays, dirs, 0.0, 1e-16, shader)
+    cheb = np.abs(rays[:, None] - moved[None]).max(axis=2)
+    assert (shader.calls == (cheb <= 0.06).sum(axis=1)).all()
+
+
+def test_refit_validation():
+    pts = np.random.default_rng(5).random((50, 3))
+    lo, hi = aabbs_from_points(pts, 0.05)
+    bvh = build_lbvh(lo, hi)
+    with pytest.raises(ValueError):
+        refit_bvh(bvh, lo[:10], hi[:10])
+    with pytest.raises(ValueError):
+        refit_bvh(bvh, hi, lo)

@@ -1,0 +1,67 @@
+"""Validation and RNG helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    as_points,
+    check_finite,
+    check_positive,
+    check_positive_int,
+    default_rng,
+)
+
+
+def test_as_points_coerces():
+    out = as_points([[1, 2, 3]])
+    assert out.dtype == np.float64
+    assert out.flags.c_contiguous
+    assert out.shape == (1, 3)
+
+
+def test_as_points_single_point():
+    assert as_points([1.0, 2.0, 3.0]).shape == (1, 3)
+
+
+def test_as_points_rejects():
+    with pytest.raises(ValueError):
+        as_points(np.zeros((2, 4)))
+    with pytest.raises(ValueError):
+        as_points(np.zeros((2, 2)))  # dims defaults to 3
+    with pytest.raises(ValueError):
+        as_points([[1.0, np.nan, 2.0]])
+    with pytest.raises(ValueError):
+        as_points(np.zeros((2, 2, 2)))
+
+
+def test_as_points_2d_allowed():
+    assert as_points(np.zeros((4, 2)), dims=2).shape == (4, 2)
+    assert as_points(np.zeros((4, 2)), dims=None).shape == (4, 2)
+
+
+def test_check_finite():
+    with pytest.raises(ValueError):
+        check_finite(np.array([np.inf]), "x")
+    check_finite(np.array([1.0]), "x")
+
+
+def test_check_positive():
+    assert check_positive(2, "x") == 2.0
+    for bad in (0, -1, np.nan, np.inf):
+        with pytest.raises(ValueError):
+            check_positive(bad, "x")
+
+
+def test_check_positive_int():
+    assert check_positive_int(3, "x") == 3
+    for bad in (0, -2, 1.5):
+        with pytest.raises(ValueError):
+            check_positive_int(bad, "x")
+
+
+def test_default_rng_passthrough():
+    g = np.random.default_rng(0)
+    assert default_rng(g) is g
+    a = default_rng(7).random()
+    b = default_rng(7).random()
+    assert a == b
