@@ -1,0 +1,20 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test lint analyze baseline
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Generic lint (ruff, skipped with a notice if not installed) + the
+# execution-model static analysis. Fails on any non-baselined finding.
+lint:
+	$(PYTHON) -m repro.analysis.lint src/repro
+
+# Domain rules only.
+analyze:
+	$(PYTHON) -m repro.analysis src/repro
+
+# Accept the current findings as technical debt (use sparingly).
+baseline:
+	$(PYTHON) -m repro.analysis src/repro --write-baseline

@@ -1,0 +1,35 @@
+"""repro.analysis — SIMT/shader static analysis for the reproduction.
+
+A device compiler and validation layer would enforce the execution
+model on real RT-core hardware; this package is their stand-in for the
+pure-Python simulator. Four rule families guard the invariants the
+paper's results rest on:
+
+* **SHD** — OptiX per-stage shader contracts (batch signature,
+  read-only geometry, ray→query id translation);
+* **VEC** — warp-lockstep discipline in hot modules (no scalar ray
+  loops, no quadratic ``np.append``, no silent dtype upcasts);
+* **COST** — no free work: traversal and distance math must flow
+  through the :class:`~repro.gpu.costmodel.CostModel`;
+* **API** — layer hygiene (seeded RNG plumbing, no wall-clock in
+  modeled-time code, no dead imports).
+
+Run ``python -m repro.analysis`` (or ``repro analyze`` /
+``repro-lint``); see ``docs/static_analysis.md``.
+"""
+
+from repro.analysis.config import AnalysisConfig, load_config
+from repro.analysis.engine import analyze_paths, analyze_source
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import Rule, all_rules
+
+__all__ = [
+    "AnalysisConfig",
+    "Finding",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "load_config",
+]

@@ -1,0 +1,53 @@
+"""Baseline files: accepted findings that don't fail the build.
+
+A baseline is a JSON list of finding fingerprints. ``--write-baseline``
+records the current findings; subsequent runs subtract them. Matching
+is line-insensitive (rule, path, message), so baselined debt survives
+unrelated edits but resurfaces the moment its message changes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+_VERSION = 1
+
+
+def load_baseline(path: Path | str) -> set[tuple[str, str, str]]:
+    """Fingerprints recorded in ``path``; empty set if absent."""
+    path = Path(path)
+    if not path.is_file():
+        return set()
+    data = json.loads(path.read_text())
+    if data.get("version") != _VERSION:
+        raise SystemExit(f"unsupported baseline version in {path}")
+    return {
+        (e["rule"], e["path"], e["message"]) for e in data.get("findings", [])
+    }
+
+
+def write_baseline(path: Path | str, findings: list[Finding]) -> None:
+    """Record ``findings`` (sorted, deduplicated) as the new baseline."""
+    entries = sorted(
+        {f.fingerprint for f in findings},
+    )
+    payload = {
+        "version": _VERSION,
+        "findings": [
+            {"rule": r, "path": p, "message": m} for r, p, m in entries
+        ],
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def apply_baseline(
+    findings: list[Finding], accepted: set[tuple[str, str, str]]
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, n_baselined)."""
+    fresh = [f for f in findings if f.fingerprint not in accepted]
+    return fresh, len(findings) - len(fresh)

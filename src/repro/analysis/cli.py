@@ -1,0 +1,150 @@
+"""Static-analysis command line.
+
+::
+
+    python -m repro.analysis [paths...] [options]
+    repro analyze [paths...] [options]
+
+Exit codes: 0 clean (after baseline + suppressions), 1 findings,
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.config import load_config
+from repro.analysis.engine import analyze_paths
+from repro.analysis.rules import all_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="SIMT/shader static analysis for the RTNN reproduction",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    p.add_argument(
+        "--baseline",
+        help="baseline file (default: [tool.repro-analysis].baseline)",
+    )
+    p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings into the baseline and exit 0",
+    )
+    p.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="only run rules whose id starts with PREFIX (repeatable)",
+    )
+    p.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="skip rules whose id starts with PREFIX (repeatable)",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    p.add_argument(
+        "--root",
+        default=".",
+        help="repo root for relative paths and pyproject discovery",
+    )
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    root = Path(args.root)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  [{rule.severity.value:7s}] {rule.summary}")
+        return 0
+
+    config = load_config(root)
+    if args.select:
+        config.select = tuple(args.select)
+    if args.ignore:
+        config.ignore = tuple(config.ignore) + tuple(args.ignore)
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+
+    findings, n_modules = analyze_paths(paths, config, root=root)
+
+    baseline_path = Path(args.baseline) if args.baseline else root / config.baseline
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(
+            f"baseline: recorded {len(findings)} finding(s) in {baseline_path}"
+        )
+        return 0
+
+    n_baselined = 0
+    if not args.no_baseline:
+        findings, n_baselined = apply_baseline(
+            findings, load_baseline(baseline_path)
+        )
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "modules": n_modules,
+                    "findings": [f.to_dict() for f in findings],
+                    "baselined": n_baselined,
+                    "counts": _counts(findings),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for f in findings:
+            print(f.render())
+        tail = f"{len(findings)} finding(s) in {n_modules} module(s)"
+        if n_baselined:
+            tail += f" ({n_baselined} baselined)"
+        print(tail)
+    return 1 if findings else 0
+
+
+def _counts(findings) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[f.rule_id] = counts.get(f.rule_id, 0) + 1
+    return dict(sorted(counts.items()))

@@ -1,0 +1,143 @@
+"""Analysis configuration, read from ``[tool.repro-analysis]``.
+
+Module scoping is path-fragment based: a module is "hot" (lockstep
+rules apply) or "modeled" (wall-clock/cost rules apply) when any
+configured fragment occurs in its repo-relative posix path. Fragments
+ending in ``/`` match packages, full paths match single modules.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: array names whose element-wise iteration breaks warp lockstep
+DEFAULT_ARRAY_NAMES = (
+    "rays",
+    "ray_ids",
+    "prims",
+    "prim_ids",
+    "points",
+    "queries",
+    "query_ids",
+    "origins",
+    "directions",
+    "hit_rays",
+    "leaf_rays",
+)
+
+DEFAULT_HOT_MODULES = (
+    "repro/bvh/",
+    "repro/core/",
+    "repro/optix/",
+    "repro/gpu/",
+    "repro/baselines/",
+)
+
+DEFAULT_MODELED_MODULES = (
+    "repro/bvh/",
+    "repro/core/",
+    "repro/optix/",
+    "repro/gpu/",
+)
+
+DEFAULT_TRACE_ENTRY_MODULES = ("repro/optix/pipeline.py",)
+
+DEFAULT_SHADER_MODULES = (
+    "repro/core/shaders.py",
+    "repro/optix/shaders.py",
+)
+
+
+@dataclass
+class AnalysisConfig:
+    """Everything the rule engine needs besides the source itself."""
+
+    hot_modules: tuple[str, ...] = DEFAULT_HOT_MODULES
+    modeled_modules: tuple[str, ...] = DEFAULT_MODELED_MODULES
+    trace_entry_modules: tuple[str, ...] = DEFAULT_TRACE_ENTRY_MODULES
+    shader_modules: tuple[str, ...] = DEFAULT_SHADER_MODULES
+    array_names: tuple[str, ...] = DEFAULT_ARRAY_NAMES
+    rng_module: str = "repro/utils/rng.py"
+    select: tuple[str, ...] = ()     # empty = all rules
+    ignore: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()    # path fragments skipped entirely
+    baseline: str = "tools/analysis_baseline.json"
+
+    # ------------------------------------------------------------------
+    def _matches(self, rel_path: str, fragments: tuple[str, ...]) -> bool:
+        return any(f in rel_path for f in fragments)
+
+    def is_hot(self, rel_path: str) -> bool:
+        return self._matches(rel_path, self.hot_modules)
+
+    def is_modeled(self, rel_path: str) -> bool:
+        return self._matches(rel_path, self.modeled_modules)
+
+    def is_trace_entry(self, rel_path: str) -> bool:
+        return self._matches(rel_path, self.trace_entry_modules)
+
+    def is_shader_module(self, rel_path: str) -> bool:
+        return self._matches(rel_path, self.shader_modules)
+
+    def is_rng_module(self, rel_path: str) -> bool:
+        return self.rng_module in rel_path
+
+    def is_excluded(self, rel_path: str) -> bool:
+        return self._matches(rel_path, self.exclude)
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        if any(rule_id.startswith(i) for i in self.ignore):
+            return False
+        if self.select:
+            return any(rule_id.startswith(s) for s in self.select)
+        return True
+
+
+@dataclass
+class _Raw:
+    table: dict = field(default_factory=dict)
+
+
+_KEY_MAP = {
+    "hot-modules": "hot_modules",
+    "modeled-modules": "modeled_modules",
+    "trace-entry-modules": "trace_entry_modules",
+    "shader-modules": "shader_modules",
+    "array-names": "array_names",
+    "rng-module": "rng_module",
+    "select": "select",
+    "ignore": "ignore",
+    "exclude": "exclude",
+    "baseline": "baseline",
+}
+
+
+def load_config(start: Path | str | None = None) -> AnalysisConfig:
+    """Load ``[tool.repro-analysis]`` from the nearest ``pyproject.toml``.
+
+    Walks up from ``start`` (default: cwd). Missing file or missing
+    table yields the documented defaults.
+    """
+    here = Path(start or Path.cwd()).resolve()
+    if here.is_file():
+        here = here.parent
+    for candidate in (here, *here.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            with open(pyproject, "rb") as fh:
+                data = tomllib.load(fh)
+            table = data.get("tool", {}).get("repro-analysis", {})
+            kwargs = {}
+            for key, value in table.items():
+                attr = _KEY_MAP.get(key)
+                if attr is None:
+                    raise SystemExit(
+                        f"unknown [tool.repro-analysis] key: {key!r}"
+                    )
+                kwargs[attr] = (
+                    tuple(value) if isinstance(value, list) else value
+                )
+            return AnalysisConfig(**kwargs)
+    return AnalysisConfig()

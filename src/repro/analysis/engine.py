@@ -1,0 +1,141 @@
+"""The analysis engine: parse modules, run rules, apply suppressions.
+
+Suppression forms, narrowest wins:
+
+* inline ``# noqa: RULE1, RULE2`` (or bare ``# noqa``) on the offending
+  line;
+* a baseline file recording accepted findings (see
+  :mod:`repro.analysis.baseline`);
+* ``select`` / ``ignore`` rule-id prefixes in the config.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import Rule, all_rules
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<ids>[A-Z0-9, \t]+))?", re.I)
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module plus everything rules may want to know."""
+
+    rel_path: str                  # posix, repo-relative (or virtual name)
+    tree: ast.Module
+    source_lines: list[str]
+    config: AnalysisConfig
+    #: line -> suppressed rule ids; empty set means "all rules"
+    noqa: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        rel_path: str,
+        config: AnalysisConfig | None = None,
+    ) -> "ModuleContext":
+        tree = ast.parse(source, filename=rel_path)
+        lines = source.splitlines()
+        noqa: dict[int, set[str]] = {}
+        for i, line in enumerate(lines, start=1):
+            m = _NOQA_RE.search(line)
+            if m:
+                ids = m.group("ids")
+                noqa[i] = (
+                    {s.strip().upper() for s in ids.split(",") if s.strip()}
+                    if ids
+                    else set()
+                )
+        return cls(
+            rel_path=rel_path,
+            tree=tree,
+            source_lines=lines,
+            config=config or AnalysisConfig(),
+            noqa=noqa,
+        )
+
+    def suppressed(self, finding: Finding) -> bool:
+        ids = self.noqa.get(finding.line)
+        if ids is None:
+            return False
+        return not ids or finding.rule_id.upper() in ids
+
+
+def _rel_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def analyze_source(
+    source: str,
+    rel_path: str = "<memory>",
+    config: AnalysisConfig | None = None,
+    rules: list[Rule] | None = None,
+) -> list[Finding]:
+    """Run the rules over one in-memory module (the test entry point)."""
+    config = config or AnalysisConfig()
+    ctx = ModuleContext.from_source(source, rel_path, config)
+    out: list[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        if not config.rule_enabled(rule.rule_id):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(finding):
+                out.append(finding)
+    out.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return out
+
+
+def analyze_paths(
+    paths: list[Path | str],
+    config: AnalysisConfig | None = None,
+    root: Path | str | None = None,
+) -> tuple[list[Finding], int]:
+    """Analyze files / directory trees.
+
+    Returns ``(findings, n_modules)``. Unparseable files produce a
+    synthetic ``PARSE`` finding rather than crashing the run.
+    """
+    config = config or AnalysisConfig()
+    root = Path(root or Path.cwd())
+    rules = all_rules()
+    files: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+
+    findings: list[Finding] = []
+    n_modules = 0
+    for f in files:
+        rel = _rel_path(f, root)
+        if config.is_excluded(rel):
+            continue
+        n_modules += 1
+        try:
+            source = f.read_text()
+            findings.extend(analyze_source(source, rel, config, rules))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule_id="PARSE",
+                    severity=Severity.ERROR,
+                    path=rel,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return findings, n_modules

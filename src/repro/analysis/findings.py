@@ -1,0 +1,54 @@
+"""Findings model for the static-analysis subsystem.
+
+A :class:`Finding` is one rule violation at one source location. Its
+:attr:`~Finding.fingerprint` deliberately excludes the line number so
+baselined findings survive unrelated edits above them in the file.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; only errors affect the exit code."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str          # repo-relative posix path
+    line: int          # 1-based
+    col: int           # 0-based, as reported by ``ast``
+    message: str
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-insensitive identity used for baseline matching."""
+        return (self.rule_id, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule_id} [{self.severity.value}] {self.message}"
+        )

@@ -1,0 +1,45 @@
+"""``repro-lint``: generic linting (ruff) + domain analysis, one shot.
+
+Ruff covers the commodity layer (pyflakes/pycodestyle/isort per the
+``[tool.ruff]`` config); :mod:`repro.analysis` covers the execution-
+model invariants no generic linter knows about. Ruff is optional at
+runtime — containers without it skip that half with a notice instead
+of failing, so the domain checks always run.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+
+from repro.analysis.cli import build_parser, main as analysis_main
+
+
+def run_ruff(paths: list[str]) -> int | None:
+    """Run ruff if installed; None means unavailable (skipped)."""
+    exe = shutil.which("ruff")
+    if exe is None:
+        return None
+    proc = subprocess.run([exe, "check", *paths])
+    return proc.returncode
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    args, _ = build_parser().parse_known_args(argv)
+    paths = args.paths
+
+    ruff_rc = run_ruff(paths)
+    if ruff_rc is None:
+        print("repro-lint: ruff not installed, skipping generic lint pass")
+        ruff_rc = 0
+    elif ruff_rc == 0:
+        print("repro-lint: ruff clean")
+
+    analysis_rc = analysis_main(argv)
+    return max(ruff_rc, analysis_rc)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""API — layer hygiene: banned calls and dead imports.
+
+Reproducibility and modeled-time integrity are whole-program
+properties; one stray ``np.random`` or ``time.time()`` in the wrong
+layer breaks them for every experiment built on top.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, dotted_name, register
+
+_RNG_PREFIXES = ("np.random.", "numpy.random.", "random.")
+_RNG_MESSAGE = (
+    "direct RNG construction: route through repro.utils.rng.default_rng "
+    "so one integer seed reproduces the whole experiment"
+)
+
+_WALLCLOCK = {
+    "time.time",
+    "time.perf_counter",
+    "time.monotonic",
+    "time.process_time",
+    "datetime.now",
+    "datetime.datetime.now",
+}
+
+
+@register
+class RngDisciplineRule(Rule):
+    """All randomness flows through ``repro.utils.rng``."""
+
+    rule_id = "API001"
+    summary = "RNG outside repro.utils.rng"
+
+    def check(self, ctx) -> list[Finding]:
+        if ctx.config.is_rng_module(ctx.rel_path):
+            return []
+        out = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name and any(name.startswith(p) for p in _RNG_PREFIXES):
+                    # Type references (np.random.Generator annotations /
+                    # isinstance checks) are fine; constructions are not.
+                    out.append(
+                        self.finding(ctx, node, f"{name}: {_RNG_MESSAGE}")
+                    )
+        return out
+
+
+@register
+class WallClockRule(Rule):
+    """No wall-clock reads inside modeled-time code."""
+
+    rule_id = "API002"
+    summary = "wall-clock time in modeled modules"
+
+    def check(self, ctx) -> list[Finding]:
+        if not ctx.config.is_modeled(ctx.rel_path):
+            return []
+        out = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _WALLCLOCK:
+                    out.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"{name}() in modeled-time code: simulator "
+                            "wall-clock must never leak into modeled GPU "
+                            "seconds; cost everything via CostModel",
+                        )
+                    )
+        return out
+
+
+@register
+class UnusedImportRule(Rule):
+    """Imports nobody reads (pyflakes F401, stdlib edition)."""
+
+    rule_id = "API003"
+    summary = "unused import"
+
+    def check(self, ctx) -> list[Finding]:
+        tree = ctx.tree
+        imported: dict[str, tuple[ast.AST, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    bound = (a.asname or a.name).split(".")[0]
+                    imported[bound] = (node, a.asname or a.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for a in node.names:
+                    if a.name == "*":
+                        continue
+                    imported[a.asname or a.name] = (node, a.asname or a.name)
+        if not imported:
+            return []
+
+        used: set[str] = set()
+        exported: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name) and not isinstance(
+                node.ctx, ast.Store
+            ):
+                used.add(node.id)
+            elif isinstance(node, ast.Assign):
+                for t in node.targets:
+                    if isinstance(t, ast.Name) and t.id == "__all__":
+                        try:
+                            exported |= set(ast.literal_eval(node.value))
+                        except ValueError:
+                            pass
+            # String annotations / docstring references via typing are
+            # rare here; forward-ref strings count as usage.
+            elif isinstance(node, ast.Constant) and isinstance(
+                node.value, str
+            ) and node.value.isidentifier():
+                used.add(node.value)
+
+        out = []
+        for name, (node, _) in imported.items():
+            if name not in used and name not in exported:
+                out.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"import {name!r} is never used; delete it (or "
+                        "list it in __all__ if it is a re-export)",
+                    )
+                )
+        return out

@@ -1,0 +1,166 @@
+"""VEC — warp-lockstep / vectorization discipline in hot modules.
+
+The simulator charges SIMT work at warp granularity, which is honest
+only if the Python that models it is itself batched: a scalar loop
+over rays or points is both a simulator slowdown and a sign the code
+no longer mirrors the lockstep hardware it stands for.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, dotted_name, register, root_name
+
+_LOOPS = (ast.For, ast.comprehension)
+
+
+def _iter_loop_iters(tree: ast.Module):
+    """(node, iter-expression) for every for-loop and comprehension."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.For):
+            yield node, node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                yield node, gen.iter
+
+
+def _array_roots(expr: ast.AST, array_names: frozenset[str]) -> str | None:
+    """The matched array name iterated by ``expr``, if any.
+
+    Handles ``xs``, ``xs.tolist()``, ``enumerate(xs)``,
+    ``range(len(xs))``, ``zip(xs, ys)``.
+    """
+    if isinstance(expr, ast.Call):
+        fn = expr.func
+        if isinstance(fn, ast.Name) and fn.id in ("enumerate", "zip",
+                                                  "range", "len", "reversed",
+                                                  "sorted"):
+            for arg in expr.args:
+                hit = _array_roots(arg, array_names)
+                if hit:
+                    return hit
+            return None
+    root = root_name(expr)
+    return root if root in array_names else None
+
+
+@register
+class ScalarLoopRule(Rule):
+    """No scalar iteration over ray/point/primitive arrays."""
+
+    rule_id = "VEC001"
+    summary = "hot modules must not loop Python-scalar over ray/point arrays"
+
+    def check(self, ctx) -> list[Finding]:
+        if not ctx.config.is_hot(ctx.rel_path):
+            return []
+        names = frozenset(ctx.config.array_names)
+        out = []
+        for node, it in _iter_loop_iters(ctx.tree):
+            hit = _array_roots(it, names)
+            if hit:
+                out.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"scalar loop over {hit!r}: hot paths must stay "
+                        "warp-lockstep (batched NumPy); iterate in bulk or "
+                        "mask, never per element",
+                    )
+                )
+        return out
+
+
+@register
+class QuadraticAppendRule(Rule):
+    """``np.append`` reallocates the whole array per call."""
+
+    rule_id = "VEC002"
+    summary = "np.append in hot modules (quadratic accumulation)"
+
+    def check(self, ctx) -> list[Finding]:
+        if not ctx.config.is_hot(ctx.rel_path):
+            return []
+        out = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in ("np.append", "numpy.append"):
+                    out.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            "np.append copies the whole array every call; "
+                            "use np.concatenate on collected parts, "
+                            "np.diff(..., append=...), or preallocation",
+                        )
+                    )
+        return out
+
+
+_F32 = ("np.float32", "numpy.float32")
+_F64 = ("np.float64", "numpy.float64")
+_ARRAY_CTORS = frozenset(
+    {"zeros", "ones", "empty", "full", "array", "asarray",
+     "ascontiguousarray", "arange", "astype"}
+)
+
+
+def _dtype_of_call(node: ast.Call) -> str | None:
+    fn = dotted_name(node.func)
+    attr = fn.rsplit(".", 1)[-1] if fn else (
+        node.func.attr if isinstance(node.func, ast.Attribute) else None
+    )
+    if attr not in _ARRAY_CTORS:
+        return None
+    for kw in node.keywords:
+        if kw.arg == "dtype":
+            d = dotted_name(kw.value)
+            if d in _F32:
+                return "float32"
+            if d in _F64:
+                return "float64"
+    if attr == "astype" and node.args:
+        d = dotted_name(node.args[0])
+        if d in _F32:
+            return "float32"
+        if d in _F64:
+            return "float64"
+    return None
+
+
+@register
+class DtypeMixRule(Rule):
+    """float32/float64 mixing silently upcasts whole pipelines."""
+
+    rule_id = "VEC003"
+    summary = "one function must not create both float32 and float64 arrays"
+
+    def check(self, ctx) -> list[Finding]:
+        if not ctx.config.is_hot(ctx.rel_path):
+            return []
+        out = []
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            sites: dict[str, list[ast.Call]] = {"float32": [], "float64": []}
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call):
+                    d = _dtype_of_call(node)
+                    if d:
+                        sites[d].append(node)
+            if sites["float32"] and sites["float64"]:
+                for node in sites["float32"]:
+                    out.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"{fn.name} creates both float32 and float64 "
+                            "arrays; mixed-dtype arithmetic upcasts "
+                            "silently — pick one precision per kernel",
+                        )
+                    )
+        return out

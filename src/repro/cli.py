@@ -5,6 +5,7 @@ Three subcommands::
     repro search      --dataset KITTI-12M --mode knn -k 8        # or --points file.ply
     repro datasets    [--generate NAME --out cloud.ply]
     repro experiments [--only fig11] [--scale 0.25]
+    repro analyze     [paths...] [--format json]    # static analysis
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
@@ -165,6 +166,18 @@ def main(argv=None) -> int:
     _add_search(sub)
     _add_datasets(sub)
     _add_experiments(sub)
+    # `repro analyze ...` forwards everything after the subcommand to the
+    # static-analysis CLI (see repro.analysis.cli for its options).
+    sub.add_parser(
+        "analyze",
+        help="run the execution-model static analysis",
+        add_help=False,
+    )
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["analyze"]:
+        from repro.analysis.cli import main as analysis_main
+
+        return analysis_main(argv[1:])
     args = parser.parse_args(argv)
     if args.command == "search":
         return _cmd_search(args)

@@ -1,0 +1,154 @@
+"""The live tree passes its own static analysis, and the CLI works.
+
+This is the tier-1 wiring for the linter: ``src/repro`` must have zero
+non-baselined findings, with the shipped pyproject config, forever.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rules, analyze_paths, load_config
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.cli import main as analysis_main
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.lint import main as lint_main
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+
+def test_live_tree_has_zero_findings():
+    config = load_config(REPO)
+    findings, n_modules = analyze_paths([SRC], config, root=REPO)
+    accepted = load_baseline(REPO / config.baseline)
+    fresh = [f for f in findings if f.fingerprint not in accepted]
+    assert n_modules > 80
+    assert fresh == [], "\n" + "\n".join(f.render() for f in fresh)
+
+
+def test_shipped_baseline_is_empty():
+    # Debt should be fixed, not accumulated; loosen deliberately if a
+    # future PR must baseline something.
+    config = load_config(REPO)
+    assert load_baseline(REPO / config.baseline) == set()
+
+
+def test_cli_exit_codes_and_text_output(capsys):
+    rc = analysis_main([str(SRC), "--root", str(REPO)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "0 finding(s)" in out
+
+
+def test_cli_json_format(capsys):
+    rc = analysis_main([str(SRC), "--root", str(REPO), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert payload["findings"] == []
+    assert payload["counts"] == {}
+    assert payload["modules"] > 80
+
+
+def test_cli_json_reports_findings(tmp_path, capsys):
+    bad = tmp_path / "repro" / "core" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import numpy as np\n\ndef g(a, b):\n    return np.append(a, b)\n")
+    rc = analysis_main([str(bad), "--root", str(tmp_path), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["counts"] == {"VEC002": 1}
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "VEC002"
+    assert finding["path"].endswith("repro/core/bad.py")
+    assert finding["line"] == 4
+
+
+def test_cli_list_rules_covers_all_families(capsys):
+    rc = analysis_main(["--list-rules"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    for family in ("SHD", "VEC", "COST", "API"):
+        assert family in out
+    assert len(all_rules()) >= 12
+
+
+def test_baseline_round_trip(tmp_path, capsys):
+    bad = tmp_path / "repro" / "core" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import numpy as np\n\ndef g(a, b):\n    return np.append(a, b)\n")
+    baseline = tmp_path / "baseline.json"
+
+    rc = analysis_main(
+        [str(bad), "--root", str(tmp_path), "--baseline", str(baseline),
+         "--write-baseline"]
+    )
+    assert rc == 0
+    capsys.readouterr()
+
+    # Baselined: clean exit, reported as baselined.
+    rc = analysis_main(
+        [str(bad), "--root", str(tmp_path), "--baseline", str(baseline)]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "(1 baselined)" in out
+
+    # --no-baseline resurfaces it.
+    rc = analysis_main(
+        [str(bad), "--root", str(tmp_path), "--baseline", str(baseline),
+         "--no-baseline"]
+    )
+    assert rc == 1
+
+
+def test_write_and_load_baseline_helpers(tmp_path):
+    f = Finding("VEC002", Severity.ERROR, "repro/core/x.py", 3, 0, "msg")
+    path = tmp_path / "sub" / "b.json"
+    write_baseline(path, [f, f])
+    assert load_baseline(path) == {("VEC002", "repro/core/x.py", "msg")}
+
+
+def test_missing_path_is_usage_error(capsys):
+    rc = analysis_main(["definitely/not/here.py"])
+    assert rc == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_parse_error_becomes_finding(tmp_path, capsys):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    rc = analysis_main([str(bad), "--root", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "PARSE" in out
+
+
+def test_repro_lint_runs_both_layers(capsys):
+    rc = lint_main([str(SRC), "--root", str(REPO)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "0 finding(s)" in out
+
+
+def test_repro_cli_analyze_subcommand(capsys):
+    from repro.cli import main as repro_main
+
+    rc = repro_main(["analyze", str(SRC), "--root", str(REPO)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "0 finding(s)" in out
+
+
+@pytest.mark.slow
+def test_module_entry_point():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src/repro"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
