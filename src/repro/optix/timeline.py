@@ -56,20 +56,22 @@ class RayTimeline:
 class TimelineRecorder:
     """Tracer recording TL/IS events for a chosen set of rays."""
 
-    def __init__(self, ray_ids):
-        self.timelines = {int(r): RayTimeline(int(r)) for r in ray_ids}
+    def __init__(self, watch):
+        self.timelines = {int(r): RayTimeline(int(r)) for r in watch}
+        self._watch = np.asarray(sorted(self.timelines), dtype=np.int64)
+
+    def _record(self, ray_ids: np.ndarray, event: str):
+        # Filter the batch down to the watched set first; only the
+        # (small, user-chosen) watch list is ever walked per element.
+        watched = ray_ids[np.isin(ray_ids, self._watch)]
+        for r in watched.tolist():
+            self.timelines[r].events.append(event)
 
     def on_node_access(self, iteration, ray_ids, node_ids):
-        for r in ray_ids.tolist():
-            tl = self.timelines.get(r)
-            if tl is not None:
-                tl.events.append("TL")
+        self._record(ray_ids, "TL")
 
     def on_prim_access(self, iteration, ray_ids, prim_ids):
-        for r in ray_ids.tolist():
-            tl = self.timelines.get(r)
-            if tl is not None:
-                tl.events.append("IS")
+        self._record(ray_ids, "IS")
 
     # the cost-model tracer interface is optional here
     sampled_accesses = 0
@@ -87,7 +89,10 @@ def record_timelines(
     side effects happen exactly as in a normal launch.
     """
     recorder = TimelineRecorder(watch)
-    trace = trace_batch(
+    # Functional-only debug trace: timelines are a teaching aid outside
+    # the modeled timeline, and callers get counters/costs from a real
+    # Pipeline.launch of the same rays.
+    trace = trace_batch(  # noqa: COST001
         gas.bvh,
         rays.origins,
         rays.directions,
