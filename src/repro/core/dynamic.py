@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.bvh import build_lbvh, refit_bvh, tree_stats
+from repro.bvh import refit_bvh, tree_stats
 from repro.core.queues import KnnQueueBatch, RangeAccumulator
 from repro.core.results import RunReport, SearchResults
 from repro.core.scheduling import schedule_queries

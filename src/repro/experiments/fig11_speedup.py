@@ -15,8 +15,6 @@ size; KNN speedups exceed range speedups.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.baselines import CuNSearch, FRNN, FastRNN, PCLOctree
 from repro.core.engine import RTNNConfig, RTNNEngine
 from repro.datasets import DATASETS, load
