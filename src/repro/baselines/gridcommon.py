@@ -117,7 +117,7 @@ def segment_ranks(sorted_ids: np.ndarray) -> np.ndarray:
     boundary[1:] = sorted_ids[1:] != sorted_ids[:-1]
     idx = np.arange(n, dtype=np.int64)
     seg_start = idx[boundary]
-    return idx - np.repeat(seg_start, np.diff(np.append(seg_start, n)))
+    return idx - np.repeat(seg_start, np.diff(seg_start, append=n))
 
 
 def warp_round_sum(work: np.ndarray, warp_size: int = 32) -> int:
