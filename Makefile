@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint analyze baseline
+.PHONY: test lint analyze baseline bench bench-smoke trace-demo ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,3 +18,19 @@ analyze:
 # Accept the current findings as technical debt (use sparingly).
 baseline:
 	$(PYTHON) -m repro.analysis src/repro --write-baseline
+
+# Full perf-regression suite: compares against the latest committed
+# BENCH_*.json and writes a fresh BENCH_<date>.json.
+bench:
+	$(PYTHON) -m repro.obs.bench
+
+# CI subset: counter-exact comparison only, writes nothing.
+bench-smoke:
+	$(PYTHON) -m repro.obs.bench --smoke
+
+# Render a traced run (span tree + counter tables) on a tiny dataset.
+trace-demo:
+	$(PYTHON) -m repro.cli trace --dataset KITTI-1M --scale 0.002
+
+# Everything CI gates on.
+ci: test analyze bench-smoke

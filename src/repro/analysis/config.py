@@ -49,6 +49,11 @@ DEFAULT_SHADER_MODULES = (
     "repro/optix/shaders.py",
 )
 
+#: observability/diagnostic code: runs on the host beside the simulator,
+#: consumes the hot loop's access stream but is not part of it, so the
+#: lockstep (VEC*) and shader-contract (SHD*) rules do not apply.
+DEFAULT_EXEMPT_MODULES = ("repro/obs/",)
+
 
 @dataclass
 class AnalysisConfig:
@@ -58,6 +63,7 @@ class AnalysisConfig:
     modeled_modules: tuple[str, ...] = DEFAULT_MODELED_MODULES
     trace_entry_modules: tuple[str, ...] = DEFAULT_TRACE_ENTRY_MODULES
     shader_modules: tuple[str, ...] = DEFAULT_SHADER_MODULES
+    exempt_modules: tuple[str, ...] = DEFAULT_EXEMPT_MODULES
     array_names: tuple[str, ...] = DEFAULT_ARRAY_NAMES
     rng_module: str = "repro/utils/rng.py"
     select: tuple[str, ...] = ()     # empty = all rules
@@ -70,7 +76,10 @@ class AnalysisConfig:
         return any(f in rel_path for f in fragments)
 
     def is_hot(self, rel_path: str) -> bool:
-        return self._matches(rel_path, self.hot_modules)
+        return (
+            self._matches(rel_path, self.hot_modules)
+            and not self.is_exempt(rel_path)
+        )
 
     def is_modeled(self, rel_path: str) -> bool:
         return self._matches(rel_path, self.modeled_modules)
@@ -83,6 +92,10 @@ class AnalysisConfig:
 
     def is_rng_module(self, rel_path: str) -> bool:
         return self.rng_module in rel_path
+
+    def is_exempt(self, rel_path: str) -> bool:
+        """Observability/diagnostic modules exempt from VEC*/SHD* rules."""
+        return self._matches(rel_path, self.exempt_modules)
 
     def is_excluded(self, rel_path: str) -> bool:
         return self._matches(rel_path, self.exclude)
@@ -105,6 +118,7 @@ _KEY_MAP = {
     "modeled-modules": "modeled_modules",
     "trace-entry-modules": "trace_entry_modules",
     "shader-modules": "shader_modules",
+    "exempt-modules": "exempt_modules",
     "array-names": "array_names",
     "rng-module": "rng_module",
     "select": "select",

@@ -44,6 +44,8 @@ class ShaderSignatureRule(Rule):
     summary = "IS shader __call__ must be __call__(self, ray_ids, prim_ids)"
 
     def check(self, ctx) -> list[Finding]:
+        if ctx.config.is_exempt(ctx.rel_path):
+            return []
         out = []
         for cls in _shader_classes(ctx.tree):
             call = find_call_method(cls)
@@ -81,6 +83,8 @@ class ShaderGeometryMutationRule(Rule):
     summary = "IS shader must treat GAS/BVH geometry as read-only"
 
     def check(self, ctx) -> list[Finding]:
+        if ctx.config.is_exempt(ctx.rel_path):
+            return []
         out = []
         for cls in _shader_classes(ctx.tree):
             call = find_call_method(cls)
@@ -121,6 +125,8 @@ class ShaderQueryIdTranslationRule(Rule):
     summary = "IS shader must translate ray ids via query_ids"
 
     def check(self, ctx) -> list[Finding]:
+        if ctx.config.is_exempt(ctx.rel_path):
+            return []
         out = []
         for cls in _shader_classes(ctx.tree):
             call = find_call_method(cls)

@@ -63,6 +63,7 @@ class TraceResult:
     n_rays: int
     warp_size: int
     per_warp_steps: np.ndarray = field(default=None)  # (W,) busy rounds
+    ah_terminations: int = 0        # rays stopped via the Any-Hit path
 
     @property
     def total_steps(self) -> int:
@@ -94,6 +95,27 @@ class TraceResult:
             return 1.0
         return self.total_is_calls / (self.warp_size * self.warp_is_steps)
 
+    def counters(self) -> dict:
+        """The launch's counters under their canonical observability
+        names (what :mod:`repro.obs` spans and bench records carry).
+
+        ``aabb_tests`` counts every ray-AABB evaluation — one per node
+        pop plus one per in-leaf primitive test — the quantity the
+        paper's Fig. 7 prices.
+        """
+        return {
+            "rays": int(self.n_rays),
+            "traversal_steps": self.total_steps,
+            "is_calls": self.total_is_calls,
+            "ah_terminations": int(self.ah_terminations),
+            "prim_aabb_tests": self.prim_tests,
+            "aabb_tests": self.total_steps + self.prim_tests,
+            "warp_traversal_steps": int(self.warp_traversal_steps),
+            "warp_is_steps": int(self.warp_is_steps),
+            "node_transactions": int(self.node_transactions),
+            "prim_transactions": int(self.prim_transactions),
+        }
+
     def merge(self, other: "TraceResult") -> "TraceResult":
         """Aggregate counters of two launches (used by partitioned search)."""
         return TraceResult(
@@ -113,6 +135,7 @@ class TraceResult:
             per_warp_steps=None
             if self.per_warp_steps is None or other.per_warp_steps is None
             else np.concatenate([self.per_warp_steps, other.per_warp_steps]),
+            ah_terminations=self.ah_terminations + other.ah_terminations,
         )
 
 
@@ -180,6 +203,7 @@ def trace_batch(
     steps = np.zeros(n_rays, dtype=np.int64)
     is_calls = np.zeros(n_rays, dtype=np.int64)
     prim_tests = np.zeros(n_rays, dtype=np.int64)
+    ah_terminations = 0
 
     node_left = bvh.node_left
     node_right = bvh.node_right
@@ -266,6 +290,7 @@ def trace_batch(
                 term = hit_handler(r, prims)
                 if term is not None and len(term):
                     alive[np.asarray(term, dtype=np.int64)] = False
+                    ah_terminations += len(term)
 
         act = act[alive[act] & (sp[act] > 0)]
         iteration += 1
@@ -284,4 +309,5 @@ def trace_batch(
         n_rays=n_rays,
         warp_size=warp_size,
         per_warp_steps=per_warp_steps,
+        ah_terminations=ah_terminations,
     )

@@ -3,6 +3,7 @@
 Three subcommands::
 
     repro search      --dataset KITTI-12M --mode knn -k 8        # or --points file.ply
+    repro trace       --dataset uniform-1M --scale 0.01          # span tree + counters
     repro datasets    [--generate NAME --out cloud.ply]
     repro experiments [--only fig11] [--scale 0.25]
     repro analyze     [paths...] [--format json]    # static analysis
@@ -101,6 +102,85 @@ def _cmd_search(args) -> int:
     return 0
 
 
+def _add_trace(sub):
+    p = sub.add_parser(
+        "trace",
+        help="run a search under the observability tracer and render it",
+    )
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--points", help="point cloud file (.ply/.xyz)")
+    src.add_argument("--dataset", choices=sorted(DATASETS), help="registry dataset")
+    p.add_argument("--scale", type=float, default=1.0, help="registry dataset scale")
+    p.add_argument("--queries", help="query file (default: self-search)")
+    p.add_argument("--mode", choices=("knn", "range"), default="knn")
+    p.add_argument("-k", type=int, default=8, help="neighbor bound K")
+    p.add_argument("-r", "--radius", type=float, help="search radius "
+                   "(default: registry radius or scene-extent/100)")
+    p.add_argument("--device", choices=sorted(KNOWN_DEVICES), default=RTX_2080.name)
+    p.add_argument("--no-schedule", action="store_true")
+    p.add_argument("--no-partition", action="store_true")
+    p.add_argument("--no-bundle", action="store_true")
+    p.add_argument("--json", dest="json_out", metavar="PATH",
+                   help="also write the RunReport as JSON ('-' for stdout)")
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import RecordingTracer, RunReport, render_report
+
+    if args.dataset:
+        points, spec = load(args.dataset, scale=args.scale)
+        radius = args.radius if args.radius else spec.radius
+        source = f"{args.dataset} x{args.scale:g}"
+    else:
+        points = _load_points(args.points)
+        radius = args.radius
+        if radius is None:
+            extent = float((points.max(axis=0) - points.min(axis=0)).max())
+            radius = extent / 100.0
+        source = args.points
+    queries = _load_points(args.queries) if args.queries else points
+
+    config = RTNNConfig(
+        schedule=not args.no_schedule,
+        partition=not args.no_partition,
+        bundle=not args.no_bundle,
+    )
+    tracer = RecordingTracer()
+    engine = RTNNEngine(
+        points,
+        device=KNOWN_DEVICES[args.device],
+        config=config,
+        tracer=tracer,
+    )
+    if args.mode == "knn":
+        res = engine.knn_search(queries, k=args.k, radius=radius)
+    else:
+        res = engine.range_search(queries, radius=radius, k=args.k)
+
+    report = RunReport.from_run(
+        f"{args.mode} search",
+        tracer,
+        result=res,
+        scenario={
+            "source": source,
+            "n_points": len(points),
+            "n_queries": len(queries),
+            "mode": args.mode,
+            "k": args.k,
+            "radius": radius,
+        },
+    )
+    print(render_report(report))
+    if args.json_out == "-":
+        print(report.to_json())
+    elif args.json_out:
+        with open(args.json_out, "w") as fh:
+            fh.write(report.to_json())
+            fh.write("\n")
+        print(f"report written to {args.json_out}")
+    return 0
+
+
 def _add_datasets(sub):
     p = sub.add_parser("datasets", help="list or generate registry datasets")
     p.add_argument("--generate", choices=sorted(DATASETS), help="dataset to write")
@@ -164,6 +244,7 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     _add_search(sub)
+    _add_trace(sub)
     _add_datasets(sub)
     _add_experiments(sub)
     # `repro analyze ...` forwards everything after the subcommand to the
@@ -181,6 +262,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.command == "search":
         return _cmd_search(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "datasets":
         return _cmd_datasets(args)
     return _cmd_experiments(args)

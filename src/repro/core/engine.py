@@ -29,6 +29,7 @@ from repro.geometry.ray import RayBatch, DEFAULT_DIRECTION, SHORT_RAY_TMAX
 from repro.gpu.costmodel import IsKind
 from repro.gpu.device import DeviceSpec, RTX_2080
 from repro.metrics.breakdown import Breakdown
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.optix.gas import build_gas
 from repro.optix.pipeline import Pipeline
 from repro.utils.validate import as_points, check_positive, check_positive_int
@@ -104,11 +105,15 @@ class RTNNEngine:
         points,
         device: DeviceSpec = RTX_2080,
         config: RTNNConfig | None = None,
+        tracer: Tracer | None = None,
     ):
         self.points = as_points(points, "points")
         self.device = device
         self.config = config or RTNNConfig()
-        self.pipeline = Pipeline(device=device, cache_sim=self.config.cache_sim)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.pipeline = Pipeline(
+            device=device, cache_sim=self.config.cache_sim, tracer=self.tracer
+        )
         self.cost_model = self.pipeline.cost_model
         # All per-partition BVHs share the same Morton order (the AABB
         # centers are always the points); computing it once makes the
@@ -133,28 +138,39 @@ class RTNNEngine:
         cfg = self.config
         n_q = len(queries)
         if cfg.partition:
-            mc = compute_megacells(
-                self.points,
-                queries,
-                radius,
-                k,
-                cell_size=default_cell_size(radius, cfg.cell_div),
-                max_grid_cells=cfg.max_grid_cells,
-            )
-            breakdown.opt += self.cost_model.grid_build_time(len(self.points))
-            breakdown.opt += self.cost_model.megacell_time(mc.total_growth_steps)
-            partitions = make_partitions(
-                mc, kind, radius, k, knn_aabb=cfg.knn_aabb,
-                shrink=cfg.aabb_shrink,
-            )
-            decision = bundle_partitions(
-                partitions,
-                n_points=len(self.points),
-                k=k,
-                kind=kind,
-                cost_model=self.cost_model,
-                enable=cfg.bundle,
-            )
+            with self.tracer.span("partition", phase="partition") as sp:
+                mc = compute_megacells(
+                    self.points,
+                    queries,
+                    radius,
+                    k,
+                    cell_size=default_cell_size(radius, cfg.cell_div),
+                    max_grid_cells=cfg.max_grid_cells,
+                )
+                grid_time = self.cost_model.grid_build_time(len(self.points))
+                megacell_time = self.cost_model.megacell_time(
+                    mc.total_growth_steps
+                )
+                breakdown.opt += grid_time
+                breakdown.opt += megacell_time
+                partitions = make_partitions(
+                    mc, kind, radius, k, knn_aabb=cfg.knn_aabb,
+                    shrink=cfg.aabb_shrink,
+                )
+                decision = bundle_partitions(
+                    partitions,
+                    n_points=len(self.points),
+                    k=k,
+                    kind=kind,
+                    cost_model=self.cost_model,
+                    enable=cfg.bundle,
+                )
+                sp.add(
+                    modeled_s=grid_time + megacell_time,
+                    growth_steps=int(mc.total_growth_steps),
+                    partitions=decision.n_partitions,
+                    bundles=len(decision.bundles),
+                )
             return decision.bundles, decision.n_partitions, mc
         single = Bundle(
             query_ids=np.arange(n_q, dtype=np.int64),
@@ -173,9 +189,11 @@ class RTNNEngine:
         n_q = len(queries)
 
         breakdown = Breakdown()
-        breakdown.data += self.cost_model.transfer_time(
-            (len(self.points) + n_q) * POINT_BYTES
-        )
+        with self.tracer.span("transfer", phase="data") as sp:
+            n_bytes = (len(self.points) + n_q) * POINT_BYTES
+            transfer_time = self.cost_model.transfer_time(n_bytes)
+            breakdown.data += transfer_time
+            sp.add(modeled_s=transfer_time, transfer_bytes=n_bytes)
 
         if kind == "knn":
             acc = KnnQueueBatch(n_q, k, radius)
@@ -204,6 +222,7 @@ class RTNNEngine:
                     self.cost_model,
                     leaf_size=cfg.leaf_size,
                     order=self._point_order,
+                    tracer=self.tracer,
                 )
                 breakdown.bvh += gases[width].build_time
             return gases[width]
@@ -219,9 +238,15 @@ class RTNNEngine:
             # enclosing AABB works as a spatial hint (Section 4's
             # "loose definition of proximity").
             widest = max(bundles, key=lambda b: b.aabb_width)
-            sched = schedule_queries(self.pipeline, gas_for(widest.aabb_width), queries)
-            breakdown.fs += sched.fs_time
-            breakdown.opt += sched.sort_time
+            with self.tracer.span("schedule", phase="schedule") as sp:
+                sched = schedule_queries(
+                    self.pipeline, gas_for(widest.aabb_width), queries
+                )
+                breakdown.fs += sched.fs_time
+                breakdown.opt += sched.sort_time
+                # The FS launch's counters and cost live on its own
+                # (child) launch span; this span carries only the sort.
+                sp.add(modeled_s=sched.sort_time, sorted_queries=n_q)
             global_rank = np.empty(n_q, dtype=np.int64)
             global_rank[sched.order] = np.arange(n_q)
 
@@ -234,52 +259,63 @@ class RTNNEngine:
         occ_acc = 0.0
         launches = []
 
-        for bundle in bundles:
-            gas = gas_for(bundle.aabb_width)
+        for i, bundle in enumerate(bundles):
+            with self.tracer.span(f"bundle[{i}]", phase="traverse") as sp:
+                gas = gas_for(bundle.aabb_width)
 
-            if global_rank is not None:
-                launch_ids = bundle.query_ids[
-                    np.argsort(global_rank[bundle.query_ids], kind="stable")
-                ]
-            else:
-                launch_ids = bundle.query_ids
+                if global_rank is not None:
+                    launch_ids = bundle.query_ids[
+                        np.argsort(global_rank[bundle.query_ids], kind="stable")
+                    ]
+                else:
+                    launch_ids = bundle.query_ids
 
-            origins = queries[launch_ids]
-            rays = RayBatch(
-                origins=origins,
-                directions=np.broadcast_to(
-                    np.asarray(DEFAULT_DIRECTION), origins.shape
-                ).copy(),
-                t_min=0.0,
-                t_max=cfg.t_max,
-                query_ids=launch_ids,
-            )
-
-            if kind == "knn":
-                shader = KnnShader(self.points, origins, launch_ids, acc)
-                is_kind = IsKind.KNN
-            else:
-                sphere_test = bundle.sphere_test and not cfg.approx_elide_sphere_test
-                shader = RangeShader(
-                    self.points, origins, launch_ids, acc, radius,
-                    sphere_test=sphere_test,
+                origins = queries[launch_ids]
+                rays = RayBatch(
+                    origins=origins,
+                    directions=np.broadcast_to(
+                        np.asarray(DEFAULT_DIRECTION), origins.shape
+                    ).copy(),
+                    t_min=0.0,
+                    t_max=cfg.t_max,
+                    query_ids=launch_ids,
                 )
-                is_kind = IsKind.RANGE_TEST if sphere_test else IsKind.RANGE_FAST
 
-            launch = self.pipeline.launch(gas, rays, shader, is_kind)
-            launches.append(launch)
-            breakdown.search += launch.modeled_time
+                if kind == "knn":
+                    shader = KnnShader(self.points, origins, launch_ids, acc)
+                    is_kind = IsKind.KNN
+                else:
+                    sphere_test = (
+                        bundle.sphere_test and not cfg.approx_elide_sphere_test
+                    )
+                    shader = RangeShader(
+                        self.points, origins, launch_ids, acc, radius,
+                        sphere_test=sphere_test,
+                    )
+                    is_kind = (
+                        IsKind.RANGE_TEST if sphere_test else IsKind.RANGE_FAST
+                    )
 
-            total_is += launch.trace.total_is_calls
-            total_steps += launch.trace.total_steps
-            tx = launch.trace.node_transactions + launch.trace.prim_transactions
-            if launch.l1_hit_rate is not None and tx:
-                hit_w += tx
-                l1_acc += launch.l1_hit_rate * tx
-                l2_acc += launch.l2_hit_rate * tx
-            occ = self.cost_model.occupancy(launch.trace)
-            occ_w += launch.modeled_time
-            occ_acc += occ * launch.modeled_time
+                launch = self.pipeline.launch(gas, rays, shader, is_kind)
+                launches.append(launch)
+                breakdown.search += launch.modeled_time
+                # Launch counters/cost live on the child launch span.
+                sp.add(bundle_queries=len(launch_ids))
+                sp.note(aabb_width=float(bundle.aabb_width))
+
+                total_is += launch.trace.total_is_calls
+                total_steps += launch.trace.total_steps
+                tx = (
+                    launch.trace.node_transactions
+                    + launch.trace.prim_transactions
+                )
+                if launch.l1_hit_rate is not None and tx:
+                    hit_w += tx
+                    l1_acc += launch.l1_hit_rate * tx
+                    l2_acc += launch.l2_hit_rate * tx
+                occ = self.cost_model.occupancy(launch.trace)
+                occ_w += launch.modeled_time
+                occ_acc += occ * launch.modeled_time
 
         if kind == "knn":
             idx, counts, d2 = acc.finalize()
@@ -308,5 +344,8 @@ class RTNNEngine:
     def with_config(self, **changes) -> "RTNNEngine":
         """A copy of this engine with config fields replaced."""
         return RTNNEngine(
-            self.points, device=self.device, config=replace(self.config, **changes)
+            self.points,
+            device=self.device,
+            config=replace(self.config, **changes),
+            tracer=self.tracer,
         )

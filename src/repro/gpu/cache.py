@@ -173,6 +173,21 @@ class SampledCacheTracer:
         """Coalesced accesses issued by the sampled block."""
         return self.hier.l1_stats.accesses
 
+    def counters(self) -> dict:
+        """Sampled hit/miss counts under their observability names.
+
+        These are the *sampled block's* raw counts (deterministic for a
+        fixed launch), not launch-wide estimates — exactly what the
+        bench harness wants for exact-match regression comparison.
+        """
+        l1, l2 = self.hier.l1_stats, self.hier.l2_stats
+        return {
+            "l1_hits": l1.hits,
+            "l1_misses": l1.misses,
+            "l2_hits": l2.hits,
+            "l2_misses": l2.misses,
+        }
+
     def scaled_l1_misses(self) -> float:
         """Launch-wide L1 miss estimate (sampled misses / sample fraction)."""
         return self.hier.l1_stats.misses / self.sample_fraction

@@ -96,6 +96,16 @@ class LaunchCost:
         t = self.total
         return self.mem_time / t if t > 0 else 0.0
 
+    def as_counters(self) -> dict:
+        """The cost split under its observability counter names
+        (seconds; ``modeled_s`` is the total a span should carry)."""
+        return {
+            "modeled_s": self.total,
+            "rt_s": self.rt_time,
+            "is_s": self.is_time,
+            "mem_s": self.mem_time,
+        }
+
 
 class CostModel:
     """Convert hardware counters into modeled seconds for one device."""

@@ -36,6 +36,11 @@ class Breakdown:
         out["total"] = self.total
         return out
 
+    @classmethod
+    def from_dict(cls, data: dict[str, float]) -> "Breakdown":
+        """Inverse of :meth:`as_dict` (ignores the derived ``total``)."""
+        return cls(**{f.name: float(data.get(f.name, 0.0)) for f in fields(cls)})
+
     def fractions(self) -> dict[str, float]:
         """Each category as a fraction of the total (0 when total is 0)."""
         t = self.total

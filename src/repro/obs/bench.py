@@ -1,0 +1,354 @@
+"""The pinned perf-regression bench suite (``python -m repro.obs.bench``).
+
+Runs a fixed set of small scenarios — KITTI-like, uniform and clustered
+clouds, each as the un-optimized baseline, scheduled, and
+scheduled+partitioned engine — records per-phase counters and timings
+into ``BENCH_<date>.json``, and compares against the most recent
+committed bench file:
+
+* **counters are exact**: the simulator is deterministic, so any drift
+  in IS calls, warp steps, cache hits, AABB tests, or result checksums
+  is a real behavior change and fails the run;
+* **modeled time** must match to a tight relative tolerance (it is pure
+  float arithmetic over the counters);
+* **wall-clock** (simulator speed) may regress up to ``--wall-tol``
+  (default 20%) before failing. Wall checks compare different machines
+  meaninglessly, so ``--smoke`` — the CI entry point — skips them (and
+  skips writing a new bench file) unless overridden.
+
+The smoke suite is a strict subset of the full suite (same names, same
+sizes), so a smoke run diffs cleanly against a committed full bench
+file.
+
+Exit codes: 0 clean, 1 regression/mismatch, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.engine import RTNNConfig, RTNNEngine, VARIANTS
+from repro.datasets.kitti import kitti_like
+from repro.obs.report import RunReport
+from repro.obs.tracer import RecordingTracer
+from repro.utils.rng import default_rng
+
+SCHEMA_VERSION = 1
+
+#: relative tolerance for modeled seconds (pure float-over-counters)
+MODELED_RTOL = 1e-9
+#: default wall-clock regression tolerance (+20%)
+WALL_TOL = 0.20
+
+
+# ----------------------------------------------------------------------
+# scenario definitions
+# ----------------------------------------------------------------------
+def _uniform(n: int, seed: int) -> np.ndarray:
+    return default_rng(seed).random((n, 3))
+
+
+def _clustered(n: int, seed: int) -> np.ndarray:
+    rng = default_rng(seed)
+    centers = rng.random((12, 3))
+    which = rng.integers(0, len(centers), n)
+    pts = centers[which] + rng.normal(0.0, 0.01, (n, 3))
+    return np.clip(pts, 0.0, 1.0)
+
+
+def _kitti(n: int, seed: int) -> np.ndarray:
+    return kitti_like(n, seed=seed)
+
+
+#: generator + (radius, mode, k) per dataset family; radii are sized so
+#: an r-ball holds a meaningful neighbor population at bench scale
+_FAMILIES = {
+    "kitti": (_kitti, 4.0, "range", 32),
+    "uniform": (_uniform, 0.15, "knn", 8),
+    "clustered": (_clustered, 0.05, "knn", 16),
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One pinned bench configuration."""
+
+    family: str          # key into _FAMILIES
+    n_points: int
+    n_queries: int       # self-search over the first n_queries points
+    variant: str         # key into repro.core.engine.VARIANTS
+    seed: int = 7
+
+    @property
+    def name(self) -> str:
+        mode = _FAMILIES[self.family][2]
+        return f"{self.family}-{self.n_points}/{self.variant}/{mode}"
+
+    def config(self) -> RTNNConfig:
+        return VARIANTS[self.variant]
+
+
+def smoke_suite() -> list[Scenario]:
+    """The CI smoke subset: every family, baseline vs fully optimized."""
+    return [
+        Scenario(family=f, n_points=400, n_queries=160, variant=v)
+        for f in _FAMILIES
+        for v in ("noopt", "sched+part")
+    ]
+
+
+def full_suite() -> list[Scenario]:
+    """Smoke scenarios plus larger three-variant sweeps per family."""
+    return smoke_suite() + [
+        Scenario(family=f, n_points=2000, n_queries=700, variant=v)
+        for f in _FAMILIES
+        for v in ("noopt", "sched", "sched+part")
+    ]
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def _int_counters(counters: dict) -> dict:
+    """Only the exactly-comparable (integer) counters, as plain ints."""
+    return {
+        k: int(v)
+        for k, v in counters.items()
+        if isinstance(v, (int, np.integer))
+    }
+
+
+def run_scenario(scenario: Scenario) -> dict:
+    """Execute one scenario and return its bench record."""
+    gen, radius, mode, k = _FAMILIES[scenario.family]
+    points = gen(scenario.n_points, scenario.seed)
+    queries = points[: scenario.n_queries]
+
+    tracer = RecordingTracer()
+    engine = RTNNEngine(points, config=scenario.config(), tracer=tracer)
+    t0 = time.perf_counter()
+    if mode == "knn":
+        res = engine.knn_search(queries, k=k, radius=radius)
+    else:
+        res = engine.range_search(queries, radius=radius, k=k)
+    wall = time.perf_counter() - t0
+
+    report = RunReport.from_run(scenario.name, tracer, result=res)
+    valid = res.indices >= 0
+    return {
+        "counters": _int_counters(report.counters),
+        "phases": {
+            phase: {
+                "modeled_s": stats.modeled_s,
+                "counters": _int_counters(stats.counters),
+            }
+            for phase, stats in report.phases.items()
+        },
+        "breakdown": report.breakdown,
+        "modeled_s": report.modeled_s,
+        "wall_s": wall,
+        "neighbors": int(res.counts.sum()),
+        "checksum": int(res.indices[valid].sum()),
+    }
+
+
+def run_suite(scenarios: list[Scenario], verbose: bool = True) -> dict:
+    """Run every scenario; returns the bench-file payload."""
+    records = {}
+    for sc in scenarios:
+        rec = run_scenario(sc)
+        records[sc.name] = rec
+        if verbose:
+            c = rec["counters"]
+            print(
+                f"  {sc.name:<38} modeled {rec['modeled_s'] * 1e6:9.2f} us  "
+                f"wall {rec['wall_s']:6.2f} s  "
+                f"is={c.get('is_calls', 0):>8,} "
+                f"steps={c.get('traversal_steps', 0):>9,}"
+            )
+    return {
+        "schema": SCHEMA_VERSION,
+        "created": datetime.date.today().isoformat(),
+        "python": platform.python_version(),
+        "scenarios": records,
+    }
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+def compare_records(
+    current: dict,
+    baseline: dict,
+    wall_tol: float = WALL_TOL,
+    check_wall: bool = True,
+    modeled_rtol: float = MODELED_RTOL,
+) -> list[str]:
+    """Diff two bench payloads; returns failure descriptions.
+
+    Only scenarios present in *both* files are compared (a smoke run
+    against a full baseline compares the smoke subset). Counter and
+    checksum drift fails in either direction; wall-clock fails only
+    when the current run is slower than ``baseline * (1 + wall_tol)``.
+    """
+    failures: list[str] = []
+    cur = current.get("scenarios", {})
+    base = baseline.get("scenarios", {})
+    shared = sorted(set(cur) & set(base))
+    if not shared:
+        return failures
+
+    def diff_counters(name, where, now, then):
+        for key in sorted(set(now) | set(then)):
+            a, b = now.get(key), then.get(key)
+            if a != b:
+                failures.append(
+                    f"{name}: {where} counter {key!r} changed "
+                    f"{b!r} -> {a!r} (counters must match exactly)"
+                )
+
+    for name in shared:
+        c, b = cur[name], base[name]
+        diff_counters(name, "total", c["counters"], b["counters"])
+        for phase in sorted(set(c.get("phases", {})) | set(b.get("phases", {}))):
+            pc = c.get("phases", {}).get(phase, {}).get("counters", {})
+            pb = b.get("phases", {}).get(phase, {}).get("counters", {})
+            diff_counters(name, f"phase {phase!r}", pc, pb)
+        for key in ("neighbors", "checksum"):
+            if c.get(key) != b.get(key):
+                failures.append(
+                    f"{name}: result {key} changed {b.get(key)!r} -> "
+                    f"{c.get(key)!r} (results must be reproducible)"
+                )
+        bm, cm = b.get("modeled_s", 0.0), c.get("modeled_s", 0.0)
+        if abs(cm - bm) > modeled_rtol * max(abs(bm), abs(cm), 1e-300):
+            failures.append(
+                f"{name}: modeled_s drifted {bm!r} -> {cm!r} "
+                f"(tolerance {modeled_rtol:g} relative)"
+            )
+        if check_wall:
+            bw, cw = b.get("wall_s", 0.0), c.get("wall_s", 0.0)
+            if bw > 0 and cw > bw * (1.0 + wall_tol):
+                failures.append(
+                    f"{name}: wall-clock regressed {bw:.3f}s -> {cw:.3f}s "
+                    f"(> +{wall_tol:.0%} tolerance)"
+                )
+    return failures
+
+
+def find_baseline(directory: Path, exclude: Path | None = None) -> Path | None:
+    """The most recent ``BENCH_*.json`` in ``directory``, if any."""
+    candidates = sorted(
+        p
+        for p in directory.glob("BENCH_*.json")
+        if exclude is None or p.resolve() != exclude.resolve()
+    )
+    return candidates[-1] if candidates else None
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="run the pinned perf-regression bench suite",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the small CI subset; implies --no-wall and --no-write",
+    )
+    parser.add_argument(
+        "--dir",
+        default=".",
+        help="directory holding BENCH_*.json files (default: cwd)",
+    )
+    parser.add_argument("--out", help="output path (default: <dir>/BENCH_<date>.json)")
+    parser.add_argument(
+        "--baseline",
+        help="baseline file to diff against (default: newest BENCH_*.json in --dir)",
+    )
+    parser.add_argument(
+        "--wall-tol",
+        type=float,
+        default=WALL_TOL,
+        help="wall-clock regression tolerance (default 0.20 = +20%%)",
+    )
+    wall = parser.add_mutually_exclusive_group()
+    wall.add_argument(
+        "--check-wall", dest="check_wall", action="store_true", default=None
+    )
+    wall.add_argument("--no-wall", dest="check_wall", action="store_false")
+    write = parser.add_mutually_exclusive_group()
+    write.add_argument(
+        "--write", dest="write", action="store_true", default=None,
+        help="write the BENCH_<date>.json artifact",
+    )
+    write.add_argument("--no-write", dest="write", action="store_false")
+    args = parser.parse_args(argv)
+
+    check_wall = args.check_wall if args.check_wall is not None else not args.smoke
+    do_write = args.write if args.write is not None else not args.smoke
+
+    directory = Path(args.dir)
+    today = datetime.date.today().isoformat()
+    out_path = Path(args.out) if args.out else directory / f"BENCH_{today}.json"
+
+    suite = smoke_suite() if args.smoke else full_suite()
+    label = "smoke" if args.smoke else "full"
+    print(f"bench: running the {label} suite ({len(suite)} scenarios)")
+    payload = run_suite(suite)
+
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.is_file():
+            print(f"bench: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+    else:
+        baseline_path = find_baseline(directory, exclude=out_path if do_write else None)
+
+    status = 0
+    if baseline_path is None:
+        print("bench: no baseline BENCH_*.json found; nothing to compare")
+    else:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        failures = compare_records(
+            payload, baseline, wall_tol=args.wall_tol, check_wall=check_wall
+        )
+        compared = sorted(
+            set(payload["scenarios"]) & set(baseline.get("scenarios", {}))
+        )
+        print(
+            f"bench: compared {len(compared)} scenario(s) against "
+            f"{baseline_path.name}"
+            + ("" if check_wall else " (wall-clock checks skipped)")
+        )
+        if failures:
+            print(f"bench: {len(failures)} regression(s):", file=sys.stderr)
+            for failure in failures:
+                print(f"  FAIL {failure}", file=sys.stderr)
+            status = 1
+        else:
+            print("bench: no regressions")
+
+    if do_write:
+        with open(out_path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"bench: wrote {out_path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

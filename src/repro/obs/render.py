@@ -1,0 +1,99 @@
+"""Text rendering of traced runs (the ``repro trace`` CLI verb).
+
+Renders a :class:`~repro.obs.report.RunReport` as three blocks: the
+per-phase table (modeled vs wall time, headline counters), the run-wide
+counter table, and the indented span tree.
+"""
+
+from __future__ import annotations
+
+from repro.obs.report import RunReport
+from repro.obs.tracer import Span
+
+#: counters surfaced as columns of the phase table, in display order
+_PHASE_COLUMNS = ("traversal_steps", "is_calls", "aabb_tests")
+
+
+def _fmt_count(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return f"{value:,}"
+
+
+def render_spans(spans: list[Span], indent: int = 0) -> str:
+    """The span tree, one line per span, depth-indented."""
+    lines: list[str] = []
+    for span in spans:
+        phase = f" [{span.phase}]" if span.phase else ""
+        keys = ", ".join(
+            f"{k}={_fmt_count(v)}"
+            for k, v in sorted(span.counters.items())
+            if k != "modeled_s"
+        )
+        modeled = span.counters.get("modeled_s")
+        timing = f"wall {span.wall_s * 1e3:.2f} ms"
+        if modeled is not None:
+            timing = f"modeled {modeled * 1e6:.2f} us, " + timing
+        lines.append(
+            "  " * indent
+            + f"{span.name}{phase} | {timing}"
+            + (f" | {keys}" if keys else "")
+        )
+        if span.children:
+            lines.append(render_spans(span.children, indent + 1))
+    return "\n".join(lines)
+
+
+def render_counter_table(counters: dict, title: str = "counters") -> str:
+    """An aligned two-column name/value table."""
+    if not counters:
+        return f"{title}: (none)"
+    width = max(len(k) for k in counters)
+    lines = [f"{title}:"]
+    for key in sorted(counters):
+        lines.append(f"  {key:<{width}} {_fmt_count(counters[key]):>16}")
+    return "\n".join(lines)
+
+
+def render_report(report: RunReport) -> str:
+    """The full ``repro trace`` output for one run."""
+    lines: list[str] = []
+    head = f"run: {report.name}"
+    if report.device:
+        head += f"  (device: {report.device})"
+    lines.append(head)
+    if report.scenario:
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(report.scenario.items()))
+        lines.append(f"scenario: {pairs}")
+    lines.append(
+        f"modeled {report.modeled_s * 1e3:.4f} ms, "
+        f"simulator wall {report.wall_s:.3f} s"
+    )
+    lines.append("")
+
+    if report.phases:
+        header = (
+            f"{'phase':<10} {'modeled us':>12} {'wall ms':>10} "
+            + " ".join(f"{c:>16}" for c in _PHASE_COLUMNS)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for phase in report.phase_order():
+            stats = report.phases[phase]
+            row = (
+                f"{phase:<10} {stats.modeled_s * 1e6:>12.2f} "
+                f"{stats.wall_s * 1e3:>10.2f} "
+            )
+            row += " ".join(
+                f"{_fmt_count(stats.counters.get(c, 0)):>16}"
+                for c in _PHASE_COLUMNS
+            )
+            lines.append(row)
+        lines.append("")
+
+    lines.append(render_counter_table(report.counters, title="total counters"))
+    if report.spans:
+        lines.append("")
+        lines.append("span tree:")
+        lines.append(render_spans(report.spans, indent=1))
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""The structured record of one observed run (dataclass -> JSON).
+
+:class:`RunReport` unifies what :mod:`repro.metrics.breakdown` and the
+per-launch counters each half-provide: the Fig. 12 time breakdown, the
+per-phase rollups (data / partition / build / schedule / traverse),
+the run-wide counter totals, and the full span tree — all in one
+JSON-round-trippable object. The bench harness persists these records
+into ``BENCH_<date>.json`` and diffs them across commits.
+
+Note the engine's :class:`repro.core.results.RunReport` is the
+*modeled-performance* summary attached to every search result; this
+class is the *observability* record built from a recording tracer and
+is deliberately a superset (it embeds the breakdown dict).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.obs.tracer import PHASES, RecordingTracer, Span
+
+
+@dataclass
+class PhaseStats:
+    """Aggregate of every span attributed to one phase."""
+
+    wall_s: float = 0.0
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def modeled_s(self) -> float:
+        return float(self.counters.get("modeled_s", 0.0))
+
+    def to_dict(self) -> dict:
+        return {"wall_s": self.wall_s, "counters": dict(self.counters)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PhaseStats":
+        return cls(
+            wall_s=data.get("wall_s", 0.0),
+            counters=dict(data.get("counters", {})),
+        )
+
+
+@dataclass
+class RunReport:
+    """Everything one traced run produced, ready for JSON.
+
+    Attributes
+    ----------
+    name:
+        Scenario or run label.
+    device:
+        Simulated device name.
+    scenario:
+        Free-form inputs record (dataset, sizes, mode, k, radius,
+        config variant, seed ...).
+    breakdown:
+        The engine's Fig. 12 category dict (``data/opt/bvh/fs/search``
+        plus ``total``), in modeled seconds.
+    phases:
+        Phase -> :class:`PhaseStats` rollup from the span tree.
+    counters:
+        Run-wide counter totals (sum over every span).
+    spans:
+        The recorded span tree (top-level spans).
+    wall_s:
+        Total simulator wall seconds (sum of top-level span walls).
+    extras:
+        Anything else worth persisting (result checksums etc.).
+    """
+
+    name: str
+    device: str = ""
+    scenario: dict = field(default_factory=dict)
+    breakdown: dict = field(default_factory=dict)
+    phases: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list)
+    wall_s: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_run(
+        cls,
+        name: str,
+        tracer: RecordingTracer,
+        result=None,
+        scenario: dict | None = None,
+        extras: dict | None = None,
+    ) -> "RunReport":
+        """Build the record from a recording tracer and, optionally, the
+        :class:`~repro.core.results.SearchResults` the run returned."""
+        rollup = tracer.phase_rollup()
+        phases = {
+            phase: PhaseStats(
+                wall_s=stats["wall_s"], counters=dict(stats["counters"])
+            )
+            for phase, stats in rollup.items()
+        }
+        breakdown: dict = {}
+        device = ""
+        if result is not None and getattr(result, "report", None) is not None:
+            breakdown = result.report.breakdown.as_dict()
+            device = result.report.device
+        return cls(
+            name=name,
+            device=device,
+            scenario=dict(scenario or {}),
+            breakdown=breakdown,
+            phases=phases,
+            counters=tracer.total_counters(),
+            spans=list(tracer.spans),
+            wall_s=sum(s.wall_s for s in tracer.spans),
+            extras=dict(extras or {}),
+        )
+
+    @property
+    def modeled_s(self) -> float:
+        return float(self.breakdown.get("total", 0.0))
+
+    def phase_order(self) -> list[str]:
+        """Known phases in canonical order, then any others."""
+        known = [p for p in PHASES if p in self.phases]
+        return known + sorted(set(self.phases) - set(known))
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "device": self.device,
+            "scenario": dict(self.scenario),
+            "breakdown": dict(self.breakdown),
+            "phases": {p: s.to_dict() for p, s in self.phases.items()},
+            "counters": dict(self.counters),
+            "spans": [s.to_dict() for s in self.spans],
+            "wall_s": self.wall_s,
+            "extras": dict(self.extras),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunReport":
+        return cls(
+            name=data["name"],
+            device=data.get("device", ""),
+            scenario=dict(data.get("scenario", {})),
+            breakdown=dict(data.get("breakdown", {})),
+            phases={
+                p: PhaseStats.from_dict(s)
+                for p, s in data.get("phases", {}).items()
+            },
+            counters=dict(data.get("counters", {})),
+            spans=[Span.from_dict(s) for s in data.get("spans", ())],
+            wall_s=data.get("wall_s", 0.0),
+            extras=dict(data.get("extras", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,222 @@
+"""Nestable tracing spans with model-counter deltas.
+
+The instrumented layers (:mod:`repro.core.engine`,
+:mod:`repro.optix.pipeline`, :mod:`repro.optix.gas`) open a span around
+each unit of work and attach whatever the simulated hardware counted
+there — warp steps, IS/AH invocations, cache hits/misses, AABB tests —
+plus the modeled seconds the cost model charged (the ``modeled_s``
+counter). Wall time is recorded per span too, but only as simulator
+diagnostics: modeled time remains the scientific output.
+
+Two tracers exist:
+
+* :data:`NULL_TRACER` (the default everywhere) — a shared no-op whose
+  ``span()`` returns one reusable null context manager. Instrumented
+  code pays a single attribute lookup and method call per span, nothing
+  else, and the engine's numeric results are bit-identical with or
+  without it (asserted in ``tests/test_obs_tracing.py``).
+* :class:`RecordingTracer` — records a tree of :class:`Span` objects
+  and can roll them up per phase.
+
+Phases are the report's rollup axis: a span either names its phase or
+inherits the nearest ancestor's, so e.g. the pipeline's ``launch`` span
+(phase-less) lands in ``schedule`` when opened under the scheduling
+pre-pass and in ``traverse`` when opened under a bundle launch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+#: canonical phase order of one end-to-end run (cf. Fig. 12: data ->
+#: data, partition -> opt, build -> bvh, schedule -> fs + sort,
+#: traverse -> search)
+PHASES = ("data", "partition", "build", "schedule", "traverse")
+
+
+@dataclass
+class Span:
+    """One traced unit of work.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label (``"launch"``, ``"build_gas"``, ...).
+    phase:
+        Rollup phase, or ``None`` to inherit the enclosing span's.
+    wall_s:
+        Simulator wall seconds spent inside the span.
+    counters:
+        Numeric deltas attached via :meth:`add`. ``modeled_s`` is the
+        conventional key for modeled GPU seconds.
+    extras:
+        Free-form non-numeric annotations attached via :meth:`note`.
+    children:
+        Spans opened while this one was current.
+    """
+
+    name: str
+    phase: str | None = None
+    wall_s: float = 0.0
+    counters: dict = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    def add(self, **deltas) -> None:
+        """Accumulate numeric counter deltas onto this span."""
+        for key, value in deltas.items():
+            self.counters[key] = self.counters.get(key, 0) + value
+
+    def note(self, **extras) -> None:
+        """Attach non-numeric annotations (labels, widths, ...)."""
+        self.extras.update(extras)
+
+    def walk(self):
+        """This span, then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "phase": self.phase,
+            "wall_s": self.wall_s,
+            "counters": dict(self.counters),
+            "extras": dict(self.extras),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            name=data["name"],
+            phase=data.get("phase"),
+            wall_s=data.get("wall_s", 0.0),
+            counters=dict(data.get("counters", {})),
+            extras=dict(data.get("extras", {})),
+            children=[cls.from_dict(c) for c in data.get("children", ())],
+        )
+
+
+class _NullSpan:
+    """The reusable do-nothing span handle."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def add(self, **deltas) -> None:
+        pass
+
+    def note(self, **extras) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """The no-op tracer base; also the default behavior everywhere."""
+
+    enabled: bool = False
+
+    def span(self, name: str, phase: str | None = None):
+        """Open a span; use as ``with tracer.span(...) as sp``."""
+        return _NULL_SPAN
+
+
+#: the shared default tracer: records nothing, costs (almost) nothing
+NULL_TRACER = Tracer()
+
+
+class _SpanHandle:
+    """Context manager pushing/popping one recorded span."""
+
+    __slots__ = ("_tracer", "span", "_t0")
+
+    def __init__(self, tracer: "RecordingTracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        t = self._tracer
+        parent = t._stack[-1] if t._stack else None
+        (parent.children if parent is not None else t.spans).append(self.span)
+        t._stack.append(self.span)
+        self._t0 = time.perf_counter()
+        return self.span
+
+    def __exit__(self, *exc) -> bool:
+        self.span.wall_s = time.perf_counter() - self._t0
+        self._tracer._stack.pop()
+        return False
+
+
+class RecordingTracer(Tracer):
+    """Records every span into a tree rooted at :attr:`spans`."""
+
+    enabled = True
+
+    def __init__(self):
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, phase: str | None = None) -> _SpanHandle:
+        return _SpanHandle(self, Span(name=name, phase=phase))
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def total_counters(self) -> dict:
+        """Sum of every span's counters across the whole tree."""
+        out: dict = {}
+        for root in self.spans:
+            for span in root.walk():
+                for key, value in span.counters.items():
+                    out[key] = out.get(key, 0) + value
+        return out
+
+    def phase_rollup(self) -> dict:
+        """Per-phase ``{"wall_s": ..., "counters": {...}}`` aggregates.
+
+        A span contributes its counters to its *effective* phase — its
+        own ``phase`` or the nearest ancestor's (``"other"`` when no
+        ancestor names one). Wall time is attributed only at the
+        outermost span of each phase so nested spans are not counted
+        twice.
+        """
+        rollup: dict = {}
+
+        def bucket(phase: str) -> dict:
+            if phase not in rollup:
+                rollup[phase] = {"wall_s": 0.0, "counters": {}}
+            return rollup[phase]
+
+        def visit(span: Span, inherited: str | None):
+            eff = span.phase or inherited
+            b = bucket(eff or "other")
+            for key, value in span.counters.items():
+                b["counters"][key] = b["counters"].get(key, 0) + value
+            if eff != inherited:
+                b["wall_s"] += span.wall_s
+            for child in span.children:
+                visit(child, eff)
+
+        for root in self.spans:
+            visit(root, None)
+        return rollup
+
+    def find(self, name: str) -> list[Span]:
+        """Every span named ``name``, in tree order."""
+        return [
+            span
+            for root in self.spans
+            for span in root.walk()
+            if span.name == name
+        ]

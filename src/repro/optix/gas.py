@@ -15,6 +15,7 @@ import numpy as np
 from repro.bvh import BVH, build_lbvh
 from repro.geometry.aabb import aabbs_from_points
 from repro.gpu.costmodel import CostModel
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -49,6 +50,7 @@ def build_gas(
     cost_model: CostModel,
     leaf_size: int = 1,
     order: np.ndarray | None = None,
+    tracer: Tracer | None = None,
 ) -> GeometryAS:
     """Build a GAS over point-centered cubic AABBs.
 
@@ -56,13 +58,25 @@ def build_gas(
     (AABB width = 2r, Listing 1) or the per-partition ``AABBSize/2``
     (Listing 3). ``order`` optionally reuses a precomputed Morton order
     so repeated per-partition builds over the same points skip the sort.
+    ``tracer`` receives a ``build_gas`` span (phase ``build``) with the
+    structure counters and the modeled build cost.
     """
-    points = np.ascontiguousarray(points, dtype=np.float64)
-    lo, hi = aabbs_from_points(points, half_width)
-    bvh = build_lbvh(lo, hi, leaf_size=leaf_size, order=order)
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span("build_gas", phase="build") as sp:
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        lo, hi = aabbs_from_points(points, half_width)
+        bvh = build_lbvh(lo, hi, leaf_size=leaf_size, order=order)
+        build_time = cost_model.bvh_build_time(len(points))
+        sp.add(
+            aabbs=len(points),
+            bvh_nodes=bvh.n_nodes,
+            bvh_depth=bvh.depth,
+            modeled_s=build_time,
+        )
+        sp.note(aabb_width=2.0 * float(half_width))
     return GeometryAS(
         bvh=bvh,
         points=points,
         half_width=float(half_width),
-        build_time=cost_model.bvh_build_time(len(points)),
+        build_time=build_time,
     )

@@ -7,6 +7,13 @@ simulated RT cores, calls the intersection shader on the SMs, and
 returns both the functional outcome (whatever the shader accumulated)
 and the hardware picture: a :class:`~repro.bvh.traverse.TraceResult`
 plus a :class:`~repro.gpu.costmodel.LaunchCost`.
+
+This module is the *only* sanctioned caller of ``trace_batch``
+(enforced by COST001): every traversal must flow through here so the
+cost model charges it and the observability tracer sees it. Extra
+per-ray observers (e.g. the Fig. 1b timeline recorder) attach to a
+launch via ``observers=`` and receive the same node/primitive access
+stream as the cache simulator.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from repro.geometry.ray import RayBatch
 from repro.gpu.cache import SampledCacheTracer
 from repro.gpu.costmodel import CostModel, IsKind, LaunchCost
 from repro.gpu.device import DeviceSpec, RTX_2080
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.optix.gas import GeometryAS
 
 
@@ -35,15 +43,31 @@ class LaunchResult:
         return self.cost.total
 
 
+class _FanoutTracer:
+    """Broadcast the traversal's access stream to several tracers."""
+
+    def __init__(self, tracers):
+        self._tracers = tuple(tracers)
+
+    def on_node_access(self, iteration, ray_ids, node_ids):
+        for t in self._tracers:
+            t.on_node_access(iteration, ray_ids, node_ids)
+
+    def on_prim_access(self, iteration, ray_ids, prim_ids):
+        for t in self._tracers:
+            t.on_prim_access(iteration, ray_ids, prim_ids)
+
+
 class Pipeline:
     """A configured ray-tracing pipeline bound to one simulated device."""
 
     def __init__(self, device: DeviceSpec = RTX_2080, cache_sim: bool = True,
-                 cache_max_warps: int = 8):
+                 cache_max_warps: int = 8, tracer: Tracer | None = None):
         self.device = device
         self.cost_model = CostModel(device)
         self.cache_sim = cache_sim
         self.cache_max_warps = cache_max_warps
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def launch(
         self,
@@ -51,33 +75,49 @@ class Pipeline:
         rays: RayBatch,
         is_shader,
         kind: IsKind,
+        observers=(),
     ) -> LaunchResult:
         """Trace ``rays`` through ``gas`` invoking ``is_shader`` on hits.
 
         ``kind`` selects the IS cost class for the launch's modeled time
         (first-hit pre-pass, range with/without sphere test, or KNN).
+        ``observers`` are extra access-stream tracers (``on_node_access``
+        / ``on_prim_access``) run alongside the cache simulation; they
+        never affect counters, costs, or shader results.
         """
-        tracer = None
-        if self.cache_sim and len(rays) > 0:
-            tracer = SampledCacheTracer(
-                n_rays=len(rays),
+        with self.tracer.span("launch") as sp:
+            cache = None
+            if self.cache_sim and len(rays) > 0:
+                cache = SampledCacheTracer(
+                    n_rays=len(rays),
+                    warp_size=self.device.warp_size,
+                    max_warps=self.cache_max_warps,
+                    l1_kb=self.device.l1_kb,
+                    l2_kb=self.device.l2_kb,
+                    l2_share=1.0 / self.device.n_sms,
+                )
+            hooks = ([cache] if cache is not None else []) + list(observers)
+            if not hooks:
+                stream = None
+            elif len(hooks) == 1:
+                stream = hooks[0]
+            else:
+                stream = _FanoutTracer(hooks)
+            trace = trace_batch(
+                gas.bvh,
+                rays.origins,
+                rays.directions,
+                rays.t_min,
+                rays.t_max,
+                is_shader,
                 warp_size=self.device.warp_size,
-                max_warps=self.cache_max_warps,
-                l1_kb=self.device.l1_kb,
-                l2_kb=self.device.l2_kb,
-                l2_share=1.0 / self.device.n_sms,
+                tracer=stream,
             )
-        trace = trace_batch(
-            gas.bvh,
-            rays.origins,
-            rays.directions,
-            rays.t_min,
-            rays.t_max,
-            is_shader,
-            warp_size=self.device.warp_size,
-            tracer=tracer,
-        )
-        cost = self.cost_model.launch_cost(trace, kind, tracer=tracer)
-        l1 = tracer.l1_hit_rate if tracer is not None else None
-        l2 = tracer.l2_hit_rate if tracer is not None else None
+            cost = self.cost_model.launch_cost(trace, kind, tracer=cache)
+            l1 = cache.l1_hit_rate if cache is not None else None
+            l2 = cache.l2_hit_rate if cache is not None else None
+            sp.add(**trace.counters(), **cost.as_counters())
+            if cache is not None:
+                sp.add(**cache.counters())
+            sp.note(kind=kind.value)
         return LaunchResult(trace=trace, cost=cost, l1_hit_rate=l1, l2_hit_rate=l2)

@@ -18,9 +18,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.bvh.traverse import trace_batch
 from repro.geometry.ray import RayBatch
+from repro.gpu.costmodel import IsKind
 from repro.optix.gas import GeometryAS
+from repro.optix.pipeline import LaunchResult, Pipeline
 
 
 @dataclass
@@ -54,11 +55,19 @@ class RayTimeline:
 
 
 class TimelineRecorder:
-    """Tracer recording TL/IS events for a chosen set of rays."""
+    """Launch observer recording TL/IS events for a chosen set of rays.
+
+    Attach to :meth:`repro.optix.pipeline.Pipeline.launch` via
+    ``observers=(recorder,)``; after the launch, ``recorder.launch``
+    holds the :class:`~repro.optix.pipeline.LaunchResult` so callers get
+    the modeled counters/costs of the very trace that produced the
+    timelines.
+    """
 
     def __init__(self, watch):
         self.timelines = {int(r): RayTimeline(int(r)) for r in watch}
         self._watch = np.asarray(sorted(self.timelines), dtype=np.int64)
+        self.launch: LaunchResult | None = None
 
     def _record(self, ray_ids: np.ndarray, event: str):
         # Filter the batch down to the watched set first; only the
@@ -73,35 +82,28 @@ class TimelineRecorder:
     def on_prim_access(self, iteration, ray_ids, prim_ids):
         self._record(ray_ids, "IS")
 
-    # the cost-model tracer interface is optional here
-    sampled_accesses = 0
-
 
 def record_timelines(
     gas: GeometryAS,
     rays: RayBatch,
     is_shader,
     watch=(0,),
+    pipeline: Pipeline | None = None,
+    kind: IsKind = IsKind.KNN,
 ) -> list[RayTimeline]:
     """Trace ``rays`` through ``gas`` recording timelines for ``watch``.
 
-    Runs a plain functional trace (no cache simulation); the shader's
-    side effects happen exactly as in a normal launch.
+    The trace runs through ``Pipeline.launch`` with the recorder as an
+    observer, so it is charged by the cost model like any other launch;
+    the default throwaway pipeline skips cache simulation to keep the
+    debug aid cheap. ``kind`` sets the launch's IS cost class.
     """
     recorder = TimelineRecorder(watch)
-    # Functional-only debug trace: timelines are a teaching aid outside
-    # the modeled timeline, and callers get counters/costs from a real
-    # Pipeline.launch of the same rays.
-    trace = trace_batch(  # noqa: COST001
-        gas.bvh,
-        rays.origins,
-        rays.directions,
-        rays.t_min,
-        rays.t_max,
-        is_shader,
-        tracer=recorder,
+    if pipeline is None:
+        pipeline = Pipeline(cache_sim=False)
+    recorder.launch = pipeline.launch(
+        gas, rays, is_shader, kind, observers=(recorder,)
     )
-    del trace  # counters available to callers via a separate launch
     return [recorder.timelines[r] for r in sorted(recorder.timelines)]
 
 

@@ -432,3 +432,58 @@ def test_select_and_ignore_prefixes():
     assert set(ids(run(src))) == {"VEC001", "VEC002"}
     assert ids(run(src, select=("VEC002",))) == ["VEC002"]
     assert ids(run(src, ignore=("VEC",))) == []
+
+
+# ----------------------------------------------------------------------
+# exempt-modules — observability code rides beside the hot loop
+# ----------------------------------------------------------------------
+#: a tracer callback that walks ray_ids scalar-wise AND defines a class
+#: the shader-contract rules would flag — legal in repro/obs/, not in
+#: hot code.
+OBS_STYLE_SOURCE = """
+    class TimelineShader:
+        def __call__(self, ray_ids):
+            for r in ray_ids:
+                self.events.append(r)
+"""
+
+OBS = "repro/obs/tracer_fixture.py"
+
+
+def test_exempt_module_skips_vec_and_shd():
+    findings = run(
+        OBS_STYLE_SOURCE,
+        rel_path=OBS,
+        hot_modules=("repro/",),       # would otherwise cover repro/obs/
+        exempt_modules=("repro/obs/",),
+    )
+    assert ids(findings) == []
+
+
+def test_same_source_still_fires_outside_exempt_modules():
+    findings = run(
+        OBS_STYLE_SOURCE,
+        rel_path=HOT,
+        exempt_modules=("repro/obs/",),
+    )
+    assert "VEC001" in ids(findings)
+    assert "SHD001" in ids(findings)
+
+
+def test_default_config_exempts_repro_obs():
+    from repro.analysis.config import AnalysisConfig as _Cfg
+
+    cfg = _Cfg()
+    assert cfg.is_exempt("repro/obs/bench.py")
+    assert not cfg.is_hot("repro/obs/bench.py")
+    assert not cfg.is_exempt(HOT)
+
+
+def test_exempt_modules_loads_from_pyproject(tmp_path):
+    from repro.analysis.config import load_config
+
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.repro-analysis]\nexempt-modules = ["repro/custom_obs/"]\n'
+    )
+    cfg = load_config(tmp_path)
+    assert cfg.exempt_modules == ("repro/custom_obs/",)
