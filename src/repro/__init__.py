@@ -21,6 +21,7 @@ KITTI / 3-D-scan / N-body workloads), :mod:`repro.experiments` (one
 runner per figure of the paper).
 """
 
+from repro.api import SearchSession
 from repro.core import (
     RTNNEngine,
     RTNNConfig,
@@ -36,6 +37,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "RTNNEngine",
+    "SearchSession",
     "PlanarRTNN",
     "DynamicRTNN",
     "RTNNConfig",

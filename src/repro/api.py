@@ -1,13 +1,20 @@
-"""One-shot convenience API.
+"""Convenience API: one-shot helpers and the reusable search session.
 
-For callers who do not reuse the engine across query batches::
+For repeated query batches over one point set, hold a
+:class:`SearchSession`: the underlying engine keeps its Morton order
+*and* its GAS cache across calls, so second-and-later batches skip
+every BVH build (``breakdown.bvh`` is charged only on cache misses)::
 
-    from repro.api import knn_search, range_search
+    from repro.api import SearchSession
 
-    res = knn_search(points, queries, k=8, radius=0.1)
+    session = SearchSession(points)
+    first = session.knn_search(queries, k=8, radius=0.1)   # builds
+    warm = session.knn_search(queries, k=8, radius=0.1)    # cache hits
+    session.cache_stats                                     # {"hits": ...}
 
-Engine construction (Morton ordering of the points) is the only work
-these helpers repeat versus holding an :class:`~repro.RTNNEngine`.
+:func:`knn_search` / :func:`range_search` remain for callers who do
+not reuse anything; each call constructs a fresh engine (Morton
+ordering plus every BVH build is repeated).
 """
 
 from __future__ import annotations
@@ -15,6 +22,66 @@ from __future__ import annotations
 from repro.core.engine import RTNNConfig, RTNNEngine
 from repro.core.results import SearchResults
 from repro.gpu.device import DeviceSpec, RTX_2080
+from repro.obs.tracer import Tracer
+
+
+class SearchSession:
+    """A held engine: query batches share cached acceleration structures.
+
+    Thin, stable wrapper over :class:`~repro.core.engine.RTNNEngine`
+    exposing exactly the batch-serving surface: the two searches, warm
+    point updates, config derivation, and the cache counters.
+    """
+
+    def __init__(
+        self,
+        points,
+        device: DeviceSpec = RTX_2080,
+        config: RTNNConfig | None = None,
+        tracer: Tracer | None = None,
+        cache_capacity: int | None = None,
+    ):
+        self.engine = RTNNEngine(
+            points,
+            device=device,
+            config=config,
+            tracer=tracer,
+            cache_capacity=cache_capacity,
+        )
+
+    # ------------------------------------------------------------------
+    def knn_search(self, queries, k: int, radius: float) -> SearchResults:
+        """The ``k`` nearest neighbors within ``radius`` per query."""
+        return self.engine.knn_search(queries, k=k, radius=radius)
+
+    def range_search(self, queries, radius: float, k: int) -> SearchResults:
+        """All neighbors within ``radius``, at most ``k`` per query."""
+        return self.engine.range_search(queries, radius=radius, k=k)
+
+    def update_points(self, points) -> float:
+        """Move the point set; cached structures are refit when the
+        count is unchanged (see :meth:`RTNNEngine.update_points`)."""
+        return self.engine.update_points(points)
+
+    def with_config(self, **changes) -> "SearchSession":
+        """A new session with config fields replaced (cold cache)."""
+        session = SearchSession.__new__(SearchSession)
+        session.engine = self.engine.with_config(**changes)
+        return session
+
+    # ------------------------------------------------------------------
+    @property
+    def points(self):
+        return self.engine.points
+
+    @property
+    def config(self) -> RTNNConfig:
+        return self.engine.config
+
+    @property
+    def cache_stats(self) -> dict:
+        """Cumulative GAS-cache counters: hits, misses, evictions."""
+        return self.engine.gas_cache.stats.as_dict()
 
 
 def knn_search(

@@ -268,12 +268,34 @@ def trace_batch(
         if len(leaf_rays):
             starts = node_start[leaf_nodes]
             counts = node_end[leaf_nodes] - starts
-            for j in range(max_leaf):
-                sel = (counts > j) & alive[leaf_rays]
-                if not sel.any():
+            # Flat gather: expand every (leaf ray, in-leaf slot) pair
+            # once, then bucket the pairs by slot. Slot j's bucket holds
+            # exactly the rays whose leaf has > j primitives, in ray
+            # order (the stable sort keeps the ray-major pair order), so
+            # each hit_handler call groups the same pairs the per-slot
+            # masking loop produced. Slots still run sequentially:
+            # Any-Hit terminations in slot j must suppress later slots.
+            pair_ray = np.repeat(
+                np.arange(len(leaf_rays), dtype=np.int64), counts
+            )
+            pair_j = (
+                np.arange(len(pair_ray), dtype=np.int64)
+                - np.repeat(np.cumsum(counts) - counts, counts)
+            )
+            flat_rays = leaf_rays[pair_ray]
+            flat_prims = prim_order[starts[pair_ray] + pair_j]
+            slot_order = np.argsort(pair_j, kind="stable")
+            slot_bounds = np.searchsorted(
+                pair_j[slot_order], np.arange(int(counts.max()) + 1)
+            )
+            for j in range(len(slot_bounds) - 1):
+                sel = slot_order[slot_bounds[j]:slot_bounds[j + 1]]
+                r = flat_rays[sel]
+                live = alive[r]
+                if not live.any():
                     break
-                r = leaf_rays[sel]
-                prims = prim_order[starts[sel] + j]
+                r = r[live]
+                prims = flat_prims[sel][live]
                 if tracer is not None:
                     tracer.on_prim_access(iteration, r, prims)
                 if test_prims:

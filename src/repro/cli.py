@@ -50,6 +50,9 @@ def _add_search(sub):
     p.add_argument("--no-bundle", action="store_true")
     p.add_argument("--knn-aabb", choices=("conservative", "equiv_volume"),
                    default="conservative")
+    p.add_argument("--repeat", type=int, default=1, metavar="N",
+                   help="run the search N times on the held engine; warm "
+                        "batches reuse the GAS cache (default 1)")
     p.add_argument("--out", help="write results to an .npz file")
 
 
@@ -73,12 +76,16 @@ def _cmd_search(args) -> int:
     )
     engine = RTNNEngine(points, device=KNOWN_DEVICES[args.device], config=config)
 
-    t0 = time.perf_counter()
-    if args.mode == "knn":
-        res = engine.knn_search(queries, k=args.k, radius=radius)
-    else:
-        res = engine.range_search(queries, radius=radius, k=args.k)
-    wall = time.perf_counter() - t0
+    repeat = max(1, args.repeat)
+    walls = []
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        if args.mode == "knn":
+            res = engine.knn_search(queries, k=args.k, radius=radius)
+        else:
+            res = engine.range_search(queries, radius=radius, k=args.k)
+        walls.append(time.perf_counter() - t0)
+    wall = walls[0]
 
     rep = res.report
     print(f"{args.mode} search: {len(points)} points, {len(queries)} queries, "
@@ -91,6 +98,14 @@ def _cmd_search(args) -> int:
         print(f"  {cat:>7}: {sec * 1e6:10.2f} us")
     print(f"partitions: {rep.n_partitions}, bundles: {rep.n_bundles}, "
           f"IS calls: {rep.is_calls}")
+    if repeat > 1:
+        warm = sum(walls[1:]) / (repeat - 1)
+        stats = engine.gas_cache.stats
+        print(f"batches: {repeat} (cold {walls[0]:.2f} s, warm mean "
+              f"{warm:.2f} s, {walls[0] / warm:.2f}x)" if warm > 0 else
+              f"batches: {repeat}")
+        print(f"gas cache: {stats.hits} hits, {stats.misses} misses, "
+              f"{stats.evictions} evictions")
     if args.out:
         np.savez_compressed(
             args.out,

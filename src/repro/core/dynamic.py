@@ -33,13 +33,9 @@ from repro.geometry.ray import DEFAULT_DIRECTION, RayBatch
 from repro.gpu.costmodel import BUILD_CYCLES_PER_AABB, IsKind
 from repro.gpu.device import DeviceSpec, RTX_2080
 from repro.metrics.breakdown import Breakdown
-from repro.optix.gas import GeometryAS, build_gas
+from repro.optix.gas import REFIT_COST_FRACTION, GeometryAS, build_gas
 from repro.optix.pipeline import Pipeline
 from repro.utils.validate import as_points, check_positive, check_positive_int
-
-#: refit touches each node once with trivial math — a quarter of the
-#: full build's per-AABB cycles is a conservative hardware-update cost
-REFIT_COST_FRACTION = 0.25
 
 
 @dataclass

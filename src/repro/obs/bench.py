@@ -70,47 +70,72 @@ def _kitti(n: int, seed: int) -> np.ndarray:
 
 
 #: generator + (radius, mode, k) per dataset family; radii are sized so
-#: an r-ball holds a meaningful neighbor population at bench scale
+#: an r-ball holds a meaningful neighbor population at bench scale.
+#: The ``*-tight`` families are the repeat-batch shapes: many points
+#: (heavy builds) and a tight radius (short traversals), so structure
+#: amortization — the quantity those scenarios pin — dominates.
 _FAMILIES = {
     "kitti": (_kitti, 4.0, "range", 32),
     "uniform": (_uniform, 0.15, "knn", 8),
     "clustered": (_clustered, 0.05, "knn", 16),
+    "kitti-tight": (_kitti, 0.4, "range", 8),
+    "uniform-tight": (_uniform, 0.02, "knn", 4),
+    "clustered-tight": (_clustered, 0.002, "knn", 4),
 }
 
 
 @dataclass(frozen=True)
 class Scenario:
-    """One pinned bench configuration."""
+    """One pinned bench configuration.
+
+    ``repeat`` runs the scenario's search that many times on one held
+    engine: batch 1 is cold, later batches hit the engine's GAS cache.
+    Counters accumulate over every batch (warm batches are bit-identical
+    re-runs, so totals stay deterministic); the record additionally
+    carries cold/warm wall times and their ratio.
+    """
 
     family: str          # key into _FAMILIES
     n_points: int
     n_queries: int       # self-search over the first n_queries points
     variant: str         # key into repro.core.engine.VARIANTS
     seed: int = 7
+    repeat: int = 1      # query batches served by one held engine
 
     @property
     def name(self) -> str:
         mode = _FAMILIES[self.family][2]
-        return f"{self.family}-{self.n_points}/{self.variant}/{mode}"
+        base = f"{self.family}-{self.n_points}/{self.variant}/{mode}"
+        return base if self.repeat == 1 else f"{base}/x{self.repeat}"
 
     def config(self) -> RTNNConfig:
         return VARIANTS[self.variant]
 
 
+def repeat_scenarios() -> list[Scenario]:
+    """The repeat-batch family: held-engine amortization per dataset."""
+    return [
+        Scenario(family=f, n_points=50000, n_queries=32, variant="noopt",
+                 repeat=3)
+        for f in ("kitti-tight", "uniform-tight", "clustered-tight")
+    ]
+
+
 def smoke_suite() -> list[Scenario]:
-    """The CI smoke subset: every family, baseline vs fully optimized."""
+    """The CI smoke subset: every base family baseline vs fully
+    optimized, plus the repeat-batch amortization scenarios."""
     return [
         Scenario(family=f, n_points=400, n_queries=160, variant=v)
-        for f in _FAMILIES
+        for f in ("kitti", "uniform", "clustered")
         for v in ("noopt", "sched+part")
-    ]
+    ] + repeat_scenarios()
 
 
 def full_suite() -> list[Scenario]:
     """Smoke scenarios plus larger three-variant sweeps per family."""
     return smoke_suite() + [
         Scenario(family=f, n_points=2000, n_queries=700, variant=v)
-        for f in _FAMILIES
+        for f in ("kitti", "uniform", "clustered")
         for v in ("noopt", "sched", "sched+part")
     ]
 
@@ -135,16 +160,23 @@ def run_scenario(scenario: Scenario) -> dict:
 
     tracer = RecordingTracer()
     engine = RTNNEngine(points, config=scenario.config(), tracer=tracer)
-    t0 = time.perf_counter()
-    if mode == "knn":
-        res = engine.knn_search(queries, k=k, radius=radius)
-    else:
-        res = engine.range_search(queries, radius=radius, k=k)
-    wall = time.perf_counter() - t0
+    walls = []
+    for _ in range(scenario.repeat):
+        t0 = time.perf_counter()
+        if mode == "knn":
+            res = engine.knn_search(queries, k=k, radius=radius)
+        else:
+            res = engine.range_search(queries, radius=radius, k=k)
+        walls.append(time.perf_counter() - t0)
 
-    report = RunReport.from_run(scenario.name, tracer, result=res)
+    report = RunReport.from_run(
+        scenario.name,
+        tracer,
+        result=res,
+        extras={"gas_cache": engine.gas_cache.stats.as_dict()},
+    )
     valid = res.indices >= 0
-    return {
+    record = {
         "counters": _int_counters(report.counters),
         "phases": {
             phase: {
@@ -155,10 +187,17 @@ def run_scenario(scenario: Scenario) -> dict:
         },
         "breakdown": report.breakdown,
         "modeled_s": report.modeled_s,
-        "wall_s": wall,
+        "wall_s": sum(walls),
         "neighbors": int(res.counts.sum()),
         "checksum": int(res.indices[valid].sum()),
     }
+    if scenario.repeat > 1:
+        warm = sum(walls[1:]) / (scenario.repeat - 1)
+        record["wall_first_s"] = walls[0]
+        record["wall_warm_s"] = warm
+        record["warm_speedup"] = (walls[0] / warm) if warm > 0 else float("inf")
+        record["gas_cache"] = engine.gas_cache.stats.as_dict()
+    return record
 
 
 def run_suite(scenarios: list[Scenario], verbose: bool = True) -> dict:
@@ -169,11 +208,17 @@ def run_suite(scenarios: list[Scenario], verbose: bool = True) -> dict:
         records[sc.name] = rec
         if verbose:
             c = rec["counters"]
+            warm = (
+                f"  warm x{rec['warm_speedup']:.2f}"
+                if "warm_speedup" in rec
+                else ""
+            )
             print(
                 f"  {sc.name:<38} modeled {rec['modeled_s'] * 1e6:9.2f} us  "
                 f"wall {rec['wall_s']:6.2f} s  "
                 f"is={c.get('is_calls', 0):>8,} "
                 f"steps={c.get('traversal_steps', 0):>9,}"
+                f"{warm}"
             )
     return {
         "schema": SCHEMA_VERSION,

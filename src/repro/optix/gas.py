@@ -12,10 +12,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.bvh import BVH, build_lbvh
+from repro.bvh import BVH, build_lbvh, refit_bvh
 from repro.geometry.aabb import aabbs_from_points
 from repro.gpu.costmodel import CostModel
 from repro.obs.tracer import NULL_TRACER, Tracer
+
+#: refit touches each node once with trivial math — a quarter of the
+#: full build's per-AABB cycles is a conservative hardware-update cost
+REFIT_COST_FRACTION = 0.25
 
 
 @dataclass
@@ -80,3 +84,34 @@ def build_gas(
         half_width=float(half_width),
         build_time=build_time,
     )
+
+
+def refit_gas(
+    gas: GeometryAS,
+    points: np.ndarray,
+    cost_model: CostModel,
+    tracer: Tracer | None = None,
+) -> float:
+    """Warm-update ``gas`` in place for moved points; returns the cost.
+
+    The acceleration-structure *update* of OptiX: primitive AABBs are
+    recentered on the new points and node bounds are refit bottom-up
+    over the frozen topology (:func:`repro.bvh.refit_bvh`). Bounds stay
+    exact — searches against the refit structure return exact results —
+    but tree quality decays as points drift from their build-time
+    Morton order, so callers rebuild periodically. Requires the same
+    point count as the build; the returned modeled seconds are
+    ``REFIT_COST_FRACTION`` of a full build.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span("refit_gas", phase="build") as sp:
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        lo, hi = aabbs_from_points(points, gas.half_width)
+        refit_bvh(gas.bvh, lo, hi)
+        gas.points = points
+        refit_time = (
+            cost_model.bvh_build_time(len(points)) * REFIT_COST_FRACTION
+        )
+        sp.add(aabbs=len(points), modeled_s=refit_time)
+        sp.note(aabb_width=2.0 * float(gas.half_width))
+    return refit_time

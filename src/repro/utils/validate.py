@@ -34,8 +34,13 @@ def as_points(arr, name: str = "points", dims: int | None = 3) -> np.ndarray:
         contains non-finite values.
     """
     out = np.ascontiguousarray(np.asarray(arr, dtype=np.float64))
-    if out.ndim == 1 and dims is not None and out.size == dims:
-        out = out.reshape(1, dims)
+    if out.ndim == 1:
+        if dims is not None and out.size == dims:
+            out = out.reshape(1, dims)
+        elif dims is None and out.size in (2, 3):
+            # a bare coordinate with the dimensionality left open: its
+            # length is unambiguous, so accept it as a single point
+            out = out.reshape(1, out.size)
     if out.ndim != 2:
         raise ValueError(f"{name} must be a 2-D array, got shape {out.shape}")
     if dims is not None and out.shape[1] != dims:
@@ -65,7 +70,14 @@ def check_positive(value: float, name: str) -> float:
 
 
 def check_positive_int(value: int, name: str) -> int:
-    """Validate a strictly positive integer and return it as ``int``."""
+    """Validate a strictly positive integer and return it as ``int``.
+
+    Accepts any integral number (``numpy`` integer scalars, integral
+    floats like ``4.0``) but rejects booleans: ``int(True) == 1``, so
+    ``k=True`` would otherwise silently mean ``k=1``.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
     ivalue = int(value)
     if ivalue != value or ivalue <= 0:
         raise ValueError(f"{name} must be a positive integer, got {value}")

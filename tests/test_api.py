@@ -1,8 +1,8 @@
-"""One-shot API tests."""
+"""One-shot API and SearchSession tests."""
 
 import numpy as np
 
-from repro.api import knn_search, range_search
+from repro.api import SearchSession, knn_search, range_search
 from repro.core.engine import RTNNConfig
 from repro.gpu.device import RTX_2080TI
 
@@ -36,3 +36,40 @@ def test_one_shot_matches_engine(cube_points, cube_queries):
     a = knn_search(cube_points, cube_queries, k=4, radius=0.1)
     b = RTNNEngine(cube_points).knn_search(cube_queries, k=4, radius=0.1)
     assert (a.indices == b.indices).all()
+
+
+def test_session_is_importable_from_package():
+    import repro
+
+    assert repro.SearchSession is SearchSession
+
+
+def test_session_amortizes_builds(cube_points, cube_queries):
+    session = SearchSession(cube_points)
+    first = session.knn_search(cube_queries, k=4, radius=0.1)
+    warm = session.knn_search(cube_queries, k=4, radius=0.1)
+    assert first.report.n_bvh_builds > 0
+    assert warm.report.n_bvh_builds == 0
+    assert (warm.indices == first.indices).all()
+    stats = session.cache_stats
+    assert set(stats) == {"hits", "misses", "evictions"}
+    assert stats["hits"] > 0
+
+
+def test_session_matches_one_shot(cube_points, cube_queries):
+    a = SearchSession(cube_points).range_search(cube_queries, radius=0.1, k=8)
+    b = range_search(cube_points, cube_queries, radius=0.1, k=8)
+    assert (a.indices == b.indices).all()
+    assert (a.counts == b.counts).all()
+
+
+def test_session_with_config_and_update(cube_points, cube_queries):
+    session = SearchSession(cube_points, config=RTNNConfig(schedule=True))
+    session.knn_search(cube_queries, k=4, radius=0.1)
+    other = session.with_config(schedule=False)
+    assert isinstance(other, SearchSession)
+    assert not other.config.schedule
+    assert other.cache_stats["hits"] == 0  # derived sessions start cold
+    moved = np.asarray(cube_points) + 0.001
+    assert session.update_points(moved) > 0.0
+    assert (session.points == moved).all()

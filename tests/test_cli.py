@@ -49,6 +49,15 @@ def test_search_from_file_with_output(tmp_path, capsys):
     assert "RTX 2080 Ti" in capsys.readouterr().out
 
 
+def test_search_repeat_reports_cache(capsys):
+    assert main(["search", "--dataset", "Bunny-360K", "--scale", "0.05",
+                 "--mode", "knn", "-k", "4", "--repeat", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "batches: 3" in out
+    assert "gas cache:" in out
+    assert "misses" in out
+
+
 def test_search_rejects_unknown_extension(tmp_path):
     f = tmp_path / "c.csv"
     f.write_text("1,2,3\n")

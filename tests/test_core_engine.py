@@ -109,6 +109,26 @@ def test_empty_queries(cube_points):
     assert res.report.modeled_time > 0  # transfer of the points still counted
 
 
+def test_empty_queries_report_shape_matches_nonempty(cube_points):
+    """The n_q == 0 path goes through the same report tail as every
+    other run, so the serialized structure is identical."""
+    from repro.metrics.breakdown import Breakdown
+
+    engine = RTNNEngine(cube_points)
+    empty = engine.range_search(np.zeros((0, 3)), radius=0.1, k=4).report
+    full = engine.range_search(cube_points[:10], radius=0.1, k=4).report
+    assert set(empty.extras) == set(full.extras)
+    assert set(empty.extras["gas_cache"]) == set(full.extras["gas_cache"])
+    # nothing is partitioned, bundled, or built for zero queries
+    assert empty.n_partitions == 0
+    assert empty.n_bundles == 0
+    assert empty.n_bvh_builds == 0
+    assert empty.is_calls == 0
+    # the breakdown round-trips through its dict form exactly
+    rt = Breakdown.from_dict(empty.breakdown.as_dict())
+    assert rt.as_dict() == empty.breakdown.as_dict()
+
+
 def test_report_structure(cube_points, cube_queries):
     engine = RTNNEngine(cube_points)
     res = engine.knn_search(cube_queries, k=4, radius=0.1)

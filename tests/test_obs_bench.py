@@ -12,12 +12,14 @@ from repro.obs import bench
 
 
 def _tiny_suite():
-    """A 2-scenario suite small enough for unit tests."""
+    """A 3-scenario suite small enough for unit tests."""
     return [
         bench.Scenario(family="uniform", n_points=80, n_queries=40,
                        variant="noopt"),
         bench.Scenario(family="uniform", n_points=80, n_queries=40,
                        variant="sched+part"),
+        bench.Scenario(family="uniform", n_points=80, n_queries=40,
+                       variant="noopt", repeat=2),
     ]
 
 
@@ -127,6 +129,38 @@ def test_scenario_names_are_unique():
     assert len(names) == len(set(names))
 
 
+def test_repeat_scenario_naming():
+    single = bench.Scenario(family="uniform", n_points=80, n_queries=40,
+                            variant="noopt")
+    repeated = bench.Scenario(family="uniform", n_points=80, n_queries=40,
+                              variant="noopt", repeat=2)
+    assert single.name == "uniform-80/noopt/knn"
+    assert repeated.name == "uniform-80/noopt/knn/x2"
+
+
+def test_repeat_scenarios_in_smoke_suite():
+    repeats = bench.repeat_scenarios()
+    assert len(repeats) == 3
+    assert all(s.repeat > 1 for s in repeats)
+    smoke_names = {s.name for s in bench.smoke_suite()}
+    assert {s.name for s in repeats} <= smoke_names
+
+
+def test_repeat_record_carries_amortization_fields(payload):
+    records = payload["scenarios"]
+    repeated = records["uniform-80/noopt/knn/x2"]
+    single = records["uniform-80/noopt/knn"]
+    for key in ("wall_first_s", "wall_warm_s", "warm_speedup", "gas_cache"):
+        assert key in repeated
+        assert key not in single
+    cache = repeated["gas_cache"]
+    assert cache["misses"] >= 1  # the cold batch built
+    assert cache["hits"] >= 1    # the warm batch reused
+    # counters accumulate over batches: exactly 2x the single-batch run
+    assert repeated["counters"]["is_calls"] == 2 * single["counters"]["is_calls"]
+    assert repeated["checksum"] == single["checksum"]
+
+
 # ----------------------------------------------------------------------
 # CLI driver
 # ----------------------------------------------------------------------
@@ -148,7 +182,7 @@ def test_main_writes_then_passes_then_catches_regression(tiny_main, capsys):
     written = list(tmp_path.glob("BENCH_*.json"))
     assert len(written) == 1
     payload = json.loads(written[0].read_text())
-    assert len(payload["scenarios"]) == 2
+    assert len(payload["scenarios"]) == 3
     for record in payload["scenarios"].values():
         assert record["counters"]
         assert record["phases"]
@@ -190,4 +224,8 @@ def test_ci_workflow_parses_and_runs_all_gates():
     bench_cmds = " ".join(
         step.get("run", "") for step in jobs["bench"]["steps"]
     )
-    assert "repro.obs.bench --smoke" in bench_cmds
+    # CI goes through the Makefile target so local `make bench-smoke`
+    # and the CI gate can never drift apart.
+    assert "make bench-smoke" in bench_cmds
+    makefile = (path.parent.parent.parent / "Makefile").read_text()
+    assert "repro.obs.bench --smoke" in makefile

@@ -30,6 +30,22 @@ def test_live_tree_has_zero_findings():
     assert fresh == [], "\n" + "\n".join(f.render() for f in fresh)
 
 
+def test_gas_cache_module_is_exempt_and_clean():
+    """The GAS cache is host-side bookkeeping inside the hot
+    ``repro/core/`` tree: the shipped config must exempt it from the
+    lockstep/shader rules, and it must carry zero findings of any
+    family (including the COST accounting rules)."""
+    config = load_config(REPO)
+    assert "repro/core/cache.py" in config.exempt_modules
+    assert config.is_exempt("src/repro/core/cache.py")
+    assert not config.is_hot("src/repro/core/cache.py")
+    findings, n_modules = analyze_paths(
+        [SRC / "core" / "cache.py"], config, root=REPO
+    )
+    assert n_modules == 1
+    assert findings == []
+
+
 def test_shipped_baseline_is_empty():
     # Debt should be fixed, not accumulated; loosen deliberately if a
     # future PR must baseline something.

@@ -23,6 +23,14 @@ def test_as_points_single_point():
     assert as_points([1.0, 2.0, 3.0]).shape == (1, 3)
 
 
+def test_as_points_single_point_dims_none():
+    # a bare 1-D coordinate is unambiguous even with dims left open
+    assert as_points([1.0, 2.0, 3.0], dims=None).shape == (1, 3)
+    assert as_points([1.0, 2.0], dims=None).shape == (1, 2)
+    with pytest.raises(ValueError):
+        as_points([1.0, 2.0, 3.0, 4.0], dims=None)
+
+
 def test_as_points_rejects():
     with pytest.raises(ValueError):
         as_points(np.zeros((2, 4)))
@@ -55,6 +63,19 @@ def test_check_positive():
 def test_check_positive_int():
     assert check_positive_int(3, "x") == 3
     for bad in (0, -2, 1.5):
+        with pytest.raises(ValueError):
+            check_positive_int(bad, "x")
+
+
+def test_check_positive_int_accepts_integral_scalars():
+    assert check_positive_int(np.int64(5), "x") == 5
+    assert check_positive_int(np.uint8(2), "x") == 2
+    assert check_positive_int(4.0, "x") == 4
+
+
+def test_check_positive_int_rejects_bools():
+    # int(True) == 1, so k=True would silently mean k=1 otherwise
+    for bad in (True, False, np.True_, np.False_):
         with pytest.raises(ValueError):
             check_positive_int(bad, "x")
 
