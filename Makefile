@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint analyze baseline bench bench-smoke trace-demo ci
+.PHONY: test lint analyze baseline bench bench-smoke profile trace-demo ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,9 +24,15 @@ baseline:
 bench:
 	$(PYTHON) -m repro.obs.bench
 
-# CI subset: counter-exact comparison only, writes nothing.
+# CI subset: counter-exact comparison only (including the parallel
+# fan-out twin vs its serial scenario), writes nothing.
 bench-smoke:
 	$(PYTHON) -m repro.obs.bench --smoke
+
+# cProfile the fully-optimized large scenario (override with
+# PROFILE_SCENARIO=<name> to pick another suite entry).
+profile:
+	$(PYTHON) -m repro.obs.bench --profile $(PROFILE_SCENARIO)
 
 # Render a traced run (span tree + counter tables) on a tiny dataset.
 trace-demo:

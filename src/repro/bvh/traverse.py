@@ -28,12 +28,19 @@ path used when K neighbors are found).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.bvh.node import BVH
 from repro.geometry.aabb import ray_aabb_intersect
+
+
+def _finalize_tracer(tracer) -> None:
+    """Invoke the tracer's optional ``finalize()`` hook."""
+    fin = getattr(tracer, "finalize", None)
+    if fin is not None:
+        fin()
 
 
 def _warp_max(values: np.ndarray, warp_size: int) -> np.ndarray:
@@ -62,7 +69,7 @@ class TraceResult:
     prim_transactions: int          # uncoalesced primitive fetches
     n_rays: int
     warp_size: int
-    per_warp_steps: np.ndarray = field(default=None)  # (W,) busy rounds
+    per_warp_steps: np.ndarray | None = None  # (W,) busy rounds
     ah_terminations: int = 0        # rays stopped via the Any-Hit path
 
     @property
@@ -117,7 +124,16 @@ class TraceResult:
         }
 
     def merge(self, other: "TraceResult") -> "TraceResult":
-        """Aggregate counters of two launches (used by partitioned search)."""
+        """Aggregate counters of two launches (used by partitioned search).
+
+        Raises ``ValueError`` if the launches used different warp sizes
+        — their warp-granular counters would not be commensurable.
+        """
+        if self.warp_size != other.warp_size:
+            raise ValueError(
+                f"cannot merge TraceResults with different warp sizes "
+                f"({self.warp_size} != {other.warp_size})"
+            )
         return TraceResult(
             steps=np.concatenate([self.steps, other.steps]),
             is_calls=np.concatenate([self.is_calls, other.is_calls]),
@@ -167,7 +183,9 @@ def trace_batch(
     tracer:
         Optional memory tracer with ``on_node_access(it, ray_ids,
         node_ids)`` / ``on_prim_access(it, ray_ids, prim_ids)`` hooks
-        (the sampled cache simulator plugs in here).
+        (the sampled cache simulator plugs in here). If the tracer also
+        exposes ``finalize()``, it is called once after the last hook so
+        record-and-replay tracers can roll up their deferred state.
     max_iterations:
         Safety valve; raises ``RuntimeError`` if exceeded.
 
@@ -180,6 +198,7 @@ def trace_batch(
     n_rays = len(origins)
     zeros = np.zeros(n_rays, dtype=np.int64)
     if n_rays == 0:
+        _finalize_tracer(tracer)
         return TraceResult(
             steps=zeros,
             is_calls=zeros.copy(),
@@ -317,6 +336,7 @@ def trace_batch(
         act = act[alive[act] & (sp[act] > 0)]
         iteration += 1
 
+    _finalize_tracer(tracer)
     per_warp_steps = _warp_max(steps, warp_size)
     return TraceResult(
         steps=steps,

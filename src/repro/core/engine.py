@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.bundling import Bundle, bundle_partitions
 from repro.core.cache import GASCache, GASKey, fingerprint_array, quantize_half_width
+from repro.core.parallel import BundleJob, execute_bundles, graft_spans
 from repro.core.partition import compute_megacells, default_cell_size, make_partitions
 from repro.core.queues import KnnQueueBatch, RangeAccumulator
 from repro.core.results import RunReport, SearchResults
@@ -30,7 +31,7 @@ from repro.geometry.ray import RayBatch, DEFAULT_DIRECTION, SHORT_RAY_TMAX
 from repro.gpu.costmodel import IsKind
 from repro.gpu.device import DeviceSpec, RTX_2080
 from repro.metrics.breakdown import Breakdown
-from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.obs.tracer import NULL_TRACER, RecordingTracer, Tracer
 from repro.optix.gas import build_gas, refit_gas
 from repro.optix.pipeline import Pipeline
 from repro.utils.validate import as_points, check_positive, check_positive_int
@@ -74,6 +75,12 @@ class RTNNConfig:
     aabb_shrink:
         Section-8 approximation: scale uncapped partitions' AABB widths
         below the exact requirement (< 1 trades recall for speed).
+    parallel_bundles:
+        Fan independent per-bundle launches out over this many worker
+        threads (``None`` = serial, the default). Bundles own disjoint
+        query ids and GASes are resolved serially up front, so results,
+        counters, breakdown charges, and recorded spans are identical
+        to serial execution — only wall time changes.
     """
 
     schedule: bool = True
@@ -87,6 +94,7 @@ class RTNNConfig:
     t_max: float = SHORT_RAY_TMAX
     leaf_size: int = 4
     aabb_shrink: float = 1.0
+    parallel_bundles: int | None = None
 
 
 #: named ablation variants of Fig. 13
@@ -206,11 +214,44 @@ class RTNNEngine:
         )
         return [single], 1, None
 
+    def _launch_args(self, kind, queries, bundle, global_rank, acc, radius):
+        """Resolve one bundle into (launch_ids, rays, shader, is_kind)."""
+        cfg = self.config
+        if global_rank is not None:
+            launch_ids = bundle.query_ids[
+                np.argsort(global_rank[bundle.query_ids], kind="stable")
+            ]
+        else:
+            launch_ids = bundle.query_ids
+        origins = queries[launch_ids]
+        rays = RayBatch(
+            origins=origins,
+            directions=np.broadcast_to(
+                np.asarray(DEFAULT_DIRECTION), origins.shape
+            ).copy(),
+            t_min=0.0,
+            t_max=cfg.t_max,
+            query_ids=launch_ids,
+        )
+        if kind == "knn":
+            shader = KnnShader(self.points, origins, launch_ids, acc)
+            is_kind = IsKind.KNN
+        else:
+            sphere_test = bundle.sphere_test and not cfg.approx_elide_sphere_test
+            shader = RangeShader(
+                self.points, origins, launch_ids, acc, radius,
+                sphere_test=sphere_test,
+            )
+            is_kind = IsKind.RANGE_TEST if sphere_test else IsKind.RANGE_FAST
+        return launch_ids, rays, shader, is_kind
+
     def _run(self, kind: str, queries, radius: float, k: int) -> SearchResults:
         queries = as_points(queries, "queries")
         radius = check_positive(radius, "radius")
         k = check_positive_int(k, "k")
         cfg = self.config
+        if cfg.parallel_bundles is not None:
+            check_positive_int(cfg.parallel_bundles, "parallel_bundles")
         n_q = len(queries)
 
         breakdown = Breakdown()
@@ -243,7 +284,7 @@ class RTNNEngine:
         cache_hits = 0
         cache_misses = 0
 
-        def gas_for(width: float):
+        def gas_for(width: float, tracer: Tracer | None = None):
             nonlocal cache_hits, cache_misses
             key = self._gas_key(width / 2.0)
             gas = gases.get(key)
@@ -258,7 +299,7 @@ class RTNNEngine:
                     self.cost_model,
                     leaf_size=cfg.leaf_size,
                     order=self._point_order,
-                    tracer=self.tracer,
+                    tracer=tracer if tracer is not None else self.tracer,
                 )
                 self.gas_cache.insert(key, gas)
                 breakdown.bvh += gas.build_time
@@ -299,63 +340,70 @@ class RTNNEngine:
         occ_acc = 0.0
         launches = []
 
-        for i, bundle in enumerate(bundles):
-            with self.tracer.span(f"bundle[{i}]", phase="traverse") as sp:
-                gas = gas_for(bundle.aabb_width)
+        def absorb(launch):
+            """Fold one launch into the run totals (always bundle order)."""
+            nonlocal total_is, total_steps, hit_w, l1_acc, l2_acc
+            nonlocal occ_w, occ_acc
+            launches.append(launch)
+            breakdown.search += launch.modeled_time
+            total_is += launch.trace.total_is_calls
+            total_steps += launch.trace.total_steps
+            tx = (
+                launch.trace.node_transactions
+                + launch.trace.prim_transactions
+            )
+            if launch.l1_hit_rate is not None and tx:
+                hit_w += tx
+                l1_acc += launch.l1_hit_rate * tx
+                l2_acc += launch.l2_hit_rate * tx
+            occ = self.cost_model.occupancy(launch.trace)
+            occ_w += launch.modeled_time
+            occ_acc += occ * launch.modeled_time
 
-                if global_rank is not None:
-                    launch_ids = bundle.query_ids[
-                        np.argsort(global_rank[bundle.query_ids], kind="stable")
-                    ]
-                else:
-                    launch_ids = bundle.query_ids
-
-                origins = queries[launch_ids]
-                rays = RayBatch(
-                    origins=origins,
-                    directions=np.broadcast_to(
-                        np.asarray(DEFAULT_DIRECTION), origins.shape
-                    ).copy(),
-                    t_min=0.0,
-                    t_max=cfg.t_max,
-                    query_ids=launch_ids,
+        workers = cfg.parallel_bundles or 0
+        if workers > 1 and len(bundles) > 1:
+            # Fan-out: resolve every GAS serially in bundle order (build
+            # spans and breakdown.bvh charges land exactly as in serial
+            # execution), then launch the bundles concurrently and merge
+            # outcomes back in bundle order.
+            jobs = []
+            for i, bundle in enumerate(bundles):
+                build_rec = RecordingTracer() if self.tracer.enabled else None
+                gas = gas_for(
+                    bundle.aabb_width,
+                    tracer=build_rec if build_rec is not None else NULL_TRACER,
                 )
-
-                if kind == "knn":
-                    shader = KnnShader(self.points, origins, launch_ids, acc)
-                    is_kind = IsKind.KNN
-                else:
-                    sphere_test = (
-                        bundle.sphere_test and not cfg.approx_elide_sphere_test
-                    )
-                    shader = RangeShader(
-                        self.points, origins, launch_ids, acc, radius,
-                        sphere_test=sphere_test,
-                    )
-                    is_kind = (
-                        IsKind.RANGE_TEST if sphere_test else IsKind.RANGE_FAST
-                    )
-
-                launch = self.pipeline.launch(gas, rays, shader, is_kind)
-                launches.append(launch)
-                breakdown.search += launch.modeled_time
-                # Launch counters/cost live on the child launch span.
-                sp.add(bundle_queries=len(launch_ids))
-                sp.note(aabb_width=float(bundle.aabb_width))
-
-                total_is += launch.trace.total_is_calls
-                total_steps += launch.trace.total_steps
-                tx = (
-                    launch.trace.node_transactions
-                    + launch.trace.prim_transactions
+                launch_ids, rays, shader, is_kind = self._launch_args(
+                    kind, queries, bundle, global_rank, acc, radius
                 )
-                if launch.l1_hit_rate is not None and tx:
-                    hit_w += tx
-                    l1_acc += launch.l1_hit_rate * tx
-                    l2_acc += launch.l2_hit_rate * tx
-                occ = self.cost_model.occupancy(launch.trace)
-                occ_w += launch.modeled_time
-                occ_acc += occ * launch.modeled_time
+                jobs.append(
+                    BundleJob(
+                        index=i,
+                        gas=gas,
+                        rays=rays,
+                        shader=shader,
+                        is_kind=is_kind,
+                        aabb_width=float(bundle.aabb_width),
+                        prelude_spans=(
+                            build_rec.spans if build_rec is not None else []
+                        ),
+                    )
+                )
+            for outcome in execute_bundles(self.pipeline, jobs, workers):
+                graft_spans(self.tracer, outcome.spans)
+                absorb(outcome.launch)
+        else:
+            for i, bundle in enumerate(bundles):
+                with self.tracer.span(f"bundle[{i}]", phase="traverse") as sp:
+                    gas = gas_for(bundle.aabb_width)
+                    launch_ids, rays, shader, is_kind = self._launch_args(
+                        kind, queries, bundle, global_rank, acc, radius
+                    )
+                    launch = self.pipeline.launch(gas, rays, shader, is_kind)
+                    # Launch counters/cost live on the child launch span.
+                    sp.add(bundle_queries=len(launch_ids))
+                    sp.note(aabb_width=float(bundle.aabb_width))
+                    absorb(launch)
 
         if kind == "knn":
             idx, counts, d2 = acc.finalize()

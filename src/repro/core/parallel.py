@@ -1,0 +1,96 @@
+"""Parallel fan-out of independent per-bundle search launches.
+
+Partitioned search issues one launch per bundle, and bundles own
+*disjoint* ``query_ids`` — RT-kNNS-style "many small independent
+launches". Each launch only reads shared structures (points, GAS,
+pipeline) and writes accumulator rows belonging to its own queries, so
+the launches are embarrassingly parallel.
+
+Determinism is preserved by construction:
+
+* GASes are resolved (and their builds charged) *serially in bundle
+  order* before any job starts — the fan-out never builds.
+* Each job records its spans into a private
+  :class:`~repro.obs.tracer.RecordingTracer`; after the pool drains,
+  the caller grafts them into the shared tracer **in bundle order**, so
+  the span tree is identical to serial execution.
+* ``ThreadPoolExecutor.map`` returns outcomes in submission order, so
+  every float accumulation (breakdown charges, hit-rate weights) runs
+  in bundle order and stays bit-identical to the serial path.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.obs.tracer import RecordingTracer, Span, Tracer
+
+
+@dataclass
+class BundleJob:
+    """One bundle launch, fully resolved and ready to trace.
+
+    ``prelude_spans`` carries spans recorded while resolving the job's
+    GAS (cache-miss builds); they are grafted into the job's bundle
+    span ahead of the launch span, matching the serial nesting.
+    """
+
+    index: int
+    gas: object
+    rays: object           # RayBatch
+    shader: object
+    is_kind: object        # IsKind
+    aabb_width: float
+    prelude_spans: list[Span] = field(default_factory=list)
+
+
+@dataclass
+class BundleOutcome:
+    """What one job produced: the launch result and its span subtree."""
+
+    index: int
+    launch: object         # optix.pipeline.LaunchResult
+    spans: list[Span]
+
+
+def run_bundle(pipeline, job: BundleJob) -> BundleOutcome:
+    """Execute one bundle launch against a private span recorder."""
+    local = RecordingTracer()
+    with local.span(f"bundle[{job.index}]", phase="traverse") as sp:
+        sp.children.extend(job.prelude_spans)
+        launch = pipeline.launch(
+            job.gas, job.rays, job.shader, job.is_kind, tracer=local
+        )
+        sp.add(bundle_queries=len(job.rays.query_ids))
+        sp.note(aabb_width=float(job.aabb_width))
+    return BundleOutcome(index=job.index, launch=launch, spans=local.spans)
+
+
+def execute_bundles(
+    pipeline, jobs: list[BundleJob], max_workers: int
+) -> list[BundleOutcome]:
+    """Run every job, fanning out over a thread pool.
+
+    Outcomes come back in job (= bundle) order regardless of completion
+    order. ``max_workers <= 1`` or a single job degenerates to the
+    plain serial loop.
+    """
+    if max_workers <= 1 or len(jobs) <= 1:
+        return [run_bundle(pipeline, job) for job in jobs]
+    workers = min(max_workers, len(jobs))
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(lambda job: run_bundle(pipeline, job), jobs))
+
+
+def graft_spans(tracer: Tracer, spans: list[Span]) -> None:
+    """Splice privately recorded spans into ``tracer`` at its cursor.
+
+    Spans land under the currently open span (or at top level), exactly
+    where they would have been recorded serially. No-op for disabled
+    tracers.
+    """
+    if not spans or not getattr(tracer, "enabled", False):
+        return
+    target = tracer._stack[-1].children if tracer._stack else tracer.spans
+    target.extend(spans)

@@ -9,7 +9,12 @@ The uniform grid is the workhorse substrate for three distinct roles:
 
 Binning uses a counting sort: points are bucketed by flattened cell id
 and stored contiguously, with ``cell_start/cell_count`` CSR-style
-offsets, so "all points in cell c" is a contiguous slice.
+offsets, so "all points in cell c" is a contiguous slice. The CSR
+arrays (and the summed-area table) are O(total cells) to build, which
+dwarfs O(points) work on fine grids — both are built lazily, and
+box counting falls back to direct per-point dominance tests when the
+grid is much finer than the point set, so megacell partitioning never
+pays for cells nobody occupies.
 """
 
 from __future__ import annotations
@@ -17,6 +22,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.sat import SummedAreaTable3D
+
+#: build the SAT only when the grid is at most this many cells per
+#: point; finer grids answer box counts by direct dominance tests
+_DIRECT_CELLS_PER_POINT = 64
+#: cap on (boxes x points) comparison elements materialized at once
+_DIRECT_CHUNK_ELEMS = 1 << 22
 
 
 class UniformGrid:
@@ -68,15 +79,48 @@ class UniformGrid:
         self.res = res  # (nx, ny, nz)
         self.n_cells = int(np.prod(res))
 
-        idx3 = self.cell_coords(points)
-        flat = self.flatten(idx3)
-        order = np.argsort(flat, kind="stable")
-        self.point_order = order            # grid-sorted point indices
-        self.sorted_flat = flat[order]
-        counts = np.bincount(flat, minlength=self.n_cells)
-        self.cell_count = counts
-        self.cell_start = np.concatenate(([0], np.cumsum(counts)))[:-1]
+        self._point_cells = self.cell_coords(points)
+        self._flat = self.flatten(self._point_cells)
+        self._cells_t = None
+        self._point_order = None
+        self._sorted_flat = None
+        self._cell_count = None
+        self._cell_start = None
         self._sat = None
+
+    # ------------------------------------------------------------------
+    # lazy CSR binning (O(total cells) — only consumers that slice
+    # cells pay for it; megacell partitioning never does)
+    # ------------------------------------------------------------------
+    @property
+    def point_order(self) -> np.ndarray:
+        """Grid-sorted original point indices (counting sort)."""
+        if self._point_order is None:
+            order = np.argsort(self._flat, kind="stable")
+            self._point_order = order
+            self._sorted_flat = self._flat[order]
+        return self._point_order
+
+    @property
+    def sorted_flat(self) -> np.ndarray:
+        """Flat cell id of each point, in ``point_order``."""
+        self.point_order
+        return self._sorted_flat
+
+    @property
+    def cell_count(self) -> np.ndarray:
+        """Points binned into each cell, dense over all cells."""
+        if self._cell_count is None:
+            self._cell_count = np.bincount(self._flat, minlength=self.n_cells)
+        return self._cell_count
+
+    @property
+    def cell_start(self) -> np.ndarray:
+        """CSR offsets of each cell's slice of ``point_order``."""
+        if self._cell_start is None:
+            counts = self.cell_count
+            self._cell_start = np.concatenate(([0], np.cumsum(counts)))[:-1]
+        return self._cell_start
 
     # ------------------------------------------------------------------
     # coordinate transforms
@@ -139,7 +183,53 @@ class UniformGrid:
         """Points contained in inclusive cell-coordinate boxes, batched.
 
         ``lo3``/``hi3`` are ``(M, 3)`` integer corner coordinates
-        (inclusive on both ends). This is an O(1)-per-box count via the
-        summed-area table — the kernel that makes megacell growth cheap.
+        (inclusive on both ends) with the same clipping semantics as
+        :meth:`SummedAreaTable3D.box_sums` — the kernel that makes
+        megacell growth cheap. Grids much finer than the point set
+        (where the O(total cells) table would dominate) are answered by
+        direct per-point dominance tests instead; both paths return the
+        exact same counts (asserted in ``tests/test_geometry_grid.py``).
         """
+        if self._sat is None and (
+            self.n_cells > _DIRECT_CELLS_PER_POINT * len(self.points)
+        ):
+            return self._count_in_boxes_direct(lo3, hi3)
         return self.sat.box_sums(lo3, hi3)
+
+    def _count_in_boxes_direct(self, lo3: np.ndarray, hi3: np.ndarray) -> np.ndarray:
+        """SAT-free box counts: test every point's cell against each box.
+
+        O(boxes x points) comparisons, chunked to bound peak memory —
+        cheap whenever points are scarce relative to cells. Clipping
+        replicates :meth:`SummedAreaTable3D.box_sums` exactly (including
+        boxes emptied or displaced by the clip).
+        """
+        lo3 = np.asarray(lo3, dtype=np.int64)
+        hi3 = np.asarray(hi3, dtype=np.int64)
+        single = lo3.ndim == 1
+        if single:
+            lo3 = lo3[None, :]
+            hi3 = hi3[None, :]
+        lo = np.clip(lo3, 0, self.res - 1).astype(np.int32)
+        hi = np.clip(hi3, -1, self.res - 1).astype(np.int32)
+        if self._cells_t is None:
+            pc = self._point_cells.astype(np.int32)
+            self._cells_t = tuple(
+                np.ascontiguousarray(pc[:, axis]) for axis in range(3)
+            )
+        cx, cy, cz = self._cells_t
+        m = len(lo)
+        out = np.empty(m, dtype=np.int64)
+        chunk = max(int(_DIRECT_CHUNK_ELEMS // max(len(cx), 1)), 1)
+        for s in range(0, m, chunk):
+            e = min(s + chunk, m)
+            # per-axis column comparisons (no (chunk, N, 3) broadcast):
+            # ~3x less element work, and int32 halves the traffic
+            ok = (cx >= lo[s:e, 0, None]) & (cx <= hi[s:e, 0, None])
+            ok &= cy >= lo[s:e, 1, None]
+            ok &= cy <= hi[s:e, 1, None]
+            ok &= cz >= lo[s:e, 2, None]
+            ok &= cz <= hi[s:e, 2, None]
+            out[s:e] = np.count_nonzero(ok, axis=1)
+        out = np.where((hi < lo).any(axis=1), 0, out)
+        return out[0] if single else out

@@ -24,13 +24,24 @@ class SummedAreaTable3D:
         dense = np.asarray(dense)
         if dense.ndim != 3:
             raise ValueError(f"dense must be 3-D, got shape {dense.shape}")
-        table = np.zeros(tuple(np.array(dense.shape) + 1), dtype=np.int64)
-        acc = dense.astype(np.int64)
-        acc = acc.cumsum(axis=0).cumsum(axis=1).cumsum(axis=2)
-        table[1:, 1:, 1:] = acc
+        total = int(dense.sum()) if dense.size else 0
+        # Non-negative counts keep every partial prefix sum in
+        # [0, total], so the table narrows to int32 whenever the total
+        # fits — halving the memory traffic of the three cumsum sweeps.
+        # box_sums widens corner gathers back to int64.
+        narrow = (
+            dense.size > 0 and int(dense.min()) >= 0 and total < 2**31
+        )
+        dtype = np.int32 if narrow else np.int64
+        table = np.zeros(tuple(np.array(dense.shape) + 1), dtype=dtype)
+        acc = table[1:, 1:, 1:]
+        acc[...] = dense
+        np.cumsum(acc, axis=0, out=acc)
+        np.cumsum(acc, axis=1, out=acc)
+        np.cumsum(acc, axis=2, out=acc)
         self.table = table
         self.shape = dense.shape
-        self.total = int(acc[-1, -1, -1]) if dense.size else 0
+        self.total = total
 
     def box_sums(self, lo3: np.ndarray, hi3: np.ndarray) -> np.ndarray:
         """Sum of counts in inclusive boxes ``[lo3, hi3]``, batched.
@@ -60,15 +71,21 @@ class SummedAreaTable3D:
         x0, y0, z0 = lo[:, 0], lo[:, 1], lo[:, 2]
         x1, y1, z1 = hi[:, 0] + 1, hi[:, 1] + 1, hi[:, 2] + 1
         t = self.table
+
+        def corner(xi, yi, zi):
+            # widen before arithmetic: the 8-term alternating sum can
+            # overflow a narrowed (int32) table's dtype
+            return t[xi, yi, zi].astype(np.int64, copy=False)
+
         s = (
-            t[x1, y1, z1]
-            - t[x0, y1, z1]
-            - t[x1, y0, z1]
-            - t[x1, y1, z0]
-            + t[x0, y0, z1]
-            + t[x0, y1, z0]
-            + t[x1, y0, z0]
-            - t[x0, y0, z0]
+            corner(x1, y1, z1)
+            - corner(x0, y1, z1)
+            - corner(x1, y0, z1)
+            - corner(x1, y1, z0)
+            + corner(x0, y0, z1)
+            + corner(x0, y1, z0)
+            + corner(x1, y0, z0)
+            - corner(x0, y0, z0)
         )
         empty = (hi < lo).any(axis=1)
         s = np.where(empty, 0, s)

@@ -26,12 +26,14 @@ Exit codes: 0 clean, 1 regression/mismatch, 2 usage error.
 from __future__ import annotations
 
 import argparse
+import cProfile
 import datetime
 import json
 import platform
+import pstats
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 import numpy as np
@@ -101,15 +103,23 @@ class Scenario:
     variant: str         # key into repro.core.engine.VARIANTS
     seed: int = 7
     repeat: int = 1      # query batches served by one held engine
+    parallel: int = 0    # parallel_bundles workers (0 = serial config)
 
     @property
     def name(self) -> str:
         mode = _FAMILIES[self.family][2]
         base = f"{self.family}-{self.n_points}/{self.variant}/{mode}"
-        return base if self.repeat == 1 else f"{base}/x{self.repeat}"
+        if self.repeat > 1:
+            base = f"{base}/x{self.repeat}"
+        if self.parallel:
+            base = f"{base}/par{self.parallel}"
+        return base
 
     def config(self) -> RTNNConfig:
-        return VARIANTS[self.variant]
+        cfg = VARIANTS[self.variant]
+        if self.parallel:
+            cfg = replace(cfg, parallel_bundles=self.parallel)
+        return cfg
 
 
 def repeat_scenarios() -> list[Scenario]:
@@ -123,20 +133,30 @@ def repeat_scenarios() -> list[Scenario]:
 
 def smoke_suite() -> list[Scenario]:
     """The CI smoke subset: every base family baseline vs fully
-    optimized, plus the repeat-batch amortization scenarios."""
+    optimized, the repeat-batch amortization scenarios, and one
+    parallel fan-out twin (asserted bit-identical to its serial
+    scenario by :func:`check_parallel_consistency`)."""
     return [
         Scenario(family=f, n_points=400, n_queries=160, variant=v)
         for f in ("kitti", "uniform", "clustered")
         for v in ("noopt", "sched+part")
-    ] + repeat_scenarios()
+    ] + repeat_scenarios() + [
+        Scenario(family="clustered", n_points=400, n_queries=160,
+                 variant="sched+part", parallel=4),
+    ]
 
 
 def full_suite() -> list[Scenario]:
-    """Smoke scenarios plus larger three-variant sweeps per family."""
+    """Smoke scenarios plus larger three-variant sweeps per family and
+    their parallel fan-out twins."""
     return smoke_suite() + [
         Scenario(family=f, n_points=2000, n_queries=700, variant=v)
         for f in ("kitti", "uniform", "clustered")
         for v in ("noopt", "sched", "sched+part")
+    ] + [
+        Scenario(family=f, n_points=2000, n_queries=700,
+                 variant="sched+part", parallel=4)
+        for f in ("clustered", "uniform")
     ]
 
 
@@ -200,11 +220,25 @@ def run_scenario(scenario: Scenario) -> dict:
     return record
 
 
+def serial_twin(name: str) -> str | None:
+    """Name of the serial scenario a ``/parN`` scenario mirrors."""
+    if "/par" not in name:
+        return None
+    return name.rsplit("/par", 1)[0]
+
+
 def run_suite(scenarios: list[Scenario], verbose: bool = True) -> dict:
     """Run every scenario; returns the bench-file payload."""
     records = {}
     for sc in scenarios:
         rec = run_scenario(sc)
+        if sc.parallel:
+            rec["wall_parallel_s"] = rec["wall_s"]
+            twin = serial_twin(sc.name)
+            if twin in records:
+                rec["wall_serial_s"] = records[twin]["wall_s"]
+                if rec["wall_s"] > 0:
+                    rec["parallel_speedup"] = rec["wall_serial_s"] / rec["wall_s"]
         records[sc.name] = rec
         if verbose:
             c = rec["counters"]
@@ -231,6 +265,40 @@ def run_suite(scenarios: list[Scenario], verbose: bool = True) -> dict:
 # ----------------------------------------------------------------------
 # comparison
 # ----------------------------------------------------------------------
+def check_parallel_consistency(payload: dict) -> list[str]:
+    """Assert every ``/parN`` scenario matches its serial twin exactly.
+
+    Parallel fan-out is constructed to be deterministic (bundle-order
+    merging), so counters, results and even modeled seconds must be
+    *bit-identical* to the serial run — any drift is a real
+    synchronization bug, not noise.
+    """
+    failures: list[str] = []
+    scenarios = payload.get("scenarios", {})
+    for name, rec in sorted(scenarios.items()):
+        twin = serial_twin(name)
+        if twin is None:
+            continue
+        if twin not in scenarios:
+            failures.append(f"{name}: serial twin {twin!r} missing from suite")
+            continue
+        ref = scenarios[twin]
+        for key in ("neighbors", "checksum", "modeled_s"):
+            if rec.get(key) != ref.get(key):
+                failures.append(
+                    f"{name}: {key} diverged from serial twin "
+                    f"({ref.get(key)!r} -> {rec.get(key)!r})"
+                )
+        for key in sorted(set(rec["counters"]) | set(ref["counters"])):
+            a, b = rec["counters"].get(key), ref["counters"].get(key)
+            if a != b:
+                failures.append(
+                    f"{name}: counter {key!r} diverged from serial twin "
+                    f"({b!r} -> {a!r})"
+                )
+    return failures
+
+
 def compare_records(
     current: dict,
     baseline: dict,
@@ -303,6 +371,31 @@ def find_baseline(directory: Path, exclude: Path | None = None) -> Path | None:
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
+#: scenario profiled by ``--profile`` / ``make profile`` when none is
+#: named: the fully-optimized large scenario, the one the replay and
+#: fan-out work target
+_PROFILE_DEFAULT = "clustered-2000/sched+part/knn"
+
+
+def profile_scenario(name: str, top: int = 15) -> int:
+    """cProfile one suite scenario and print the hottest functions."""
+    matches = [sc for sc in full_suite() if sc.name == name]
+    if not matches:
+        print(f"bench: no scenario named {name!r}; choices:", file=sys.stderr)
+        for sc in full_suite():
+            print(f"  {sc.name}", file=sys.stderr)
+        return 2
+    scenario = matches[0]
+    print(f"bench: profiling {scenario.name}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_scenario(scenario)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(top)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.bench",
@@ -340,7 +433,18 @@ def main(argv=None) -> int:
         help="write the BENCH_<date>.json artifact",
     )
     write.add_argument("--no-write", dest="write", action="store_false")
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const=_PROFILE_DEFAULT,
+        metavar="SCENARIO",
+        help="cProfile one scenario (default: %(const)s) and print the "
+        "top functions by cumulative time instead of running the suite",
+    )
     args = parser.parse_args(argv)
+
+    if args.profile:
+        return profile_scenario(args.profile)
 
     check_wall = args.check_wall if args.check_wall is not None else not args.smoke
     do_write = args.write if args.write is not None else not args.smoke
@@ -354,6 +458,19 @@ def main(argv=None) -> int:
     print(f"bench: running the {label} suite ({len(suite)} scenarios)")
     payload = run_suite(suite)
 
+    status = 0
+    par_failures = check_parallel_consistency(payload)
+    if par_failures:
+        print(
+            f"bench: {len(par_failures)} parallel/serial divergence(s):",
+            file=sys.stderr,
+        )
+        for failure in par_failures:
+            print(f"  FAIL {failure}", file=sys.stderr)
+        status = 1
+    else:
+        print("bench: parallel scenarios match their serial twins exactly")
+
     if args.baseline:
         baseline_path = Path(args.baseline)
         if not baseline_path.is_file():
@@ -362,7 +479,6 @@ def main(argv=None) -> int:
     else:
         baseline_path = find_baseline(directory, exclude=out_path if do_write else None)
 
-    status = 0
     if baseline_path is None:
         print("bench: no baseline BENCH_*.json found; nothing to compare")
     else:

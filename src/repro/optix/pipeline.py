@@ -57,6 +57,12 @@ class _FanoutTracer:
         for t in self._tracers:
             t.on_prim_access(iteration, ray_ids, prim_ids)
 
+    def finalize(self):
+        for t in self._tracers:
+            fin = getattr(t, "finalize", None)
+            if fin is not None:
+                fin()
+
 
 class Pipeline:
     """A configured ray-tracing pipeline bound to one simulated device."""
@@ -76,6 +82,7 @@ class Pipeline:
         is_shader,
         kind: IsKind,
         observers=(),
+        tracer: Tracer | None = None,
     ) -> LaunchResult:
         """Trace ``rays`` through ``gas`` invoking ``is_shader`` on hits.
 
@@ -83,9 +90,13 @@ class Pipeline:
         (first-hit pre-pass, range with/without sphere test, or KNN).
         ``observers`` are extra access-stream tracers (``on_node_access``
         / ``on_prim_access``) run alongside the cache simulation; they
-        never affect counters, costs, or shader results.
+        never affect counters, costs, or shader results. ``tracer``
+        overrides the pipeline's observability tracer for this launch —
+        the parallel executor passes a per-job recorder here so each
+        worker records spans without contending on the shared one.
         """
-        with self.tracer.span("launch") as sp:
+        obs_tracer = tracer if tracer is not None else self.tracer
+        with obs_tracer.span("launch") as sp:
             cache = None
             if self.cache_sim and len(rays) > 0:
                 cache = SampledCacheTracer(

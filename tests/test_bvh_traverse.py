@@ -109,6 +109,16 @@ def test_merge_accumulates():
     assert m.warp_is_steps == a.warp_is_steps + b.warp_is_steps
 
 
+def test_merge_rejects_warp_size_mismatch():
+    pts, rays, bvh, _ = _setup()
+    a = trace_batch(bvh, rays[:50], _dirs(rays[:50]), 0.0, 1e-16, CountingShader(50))
+    b = trace_batch(
+        bvh, rays[50:], _dirs(rays[50:]), 0.0, 1e-16, CountingShader(50), warp_size=16
+    )
+    with pytest.raises(ValueError, match="warp size"):
+        a.merge(b)
+
+
 def test_long_rays_hit_more():
     """Condition-1 hits appear once the segment is long (Fig. 4c Q')."""
     pts, rays, bvh, hw = _setup()

@@ -1,0 +1,145 @@
+"""Parallel bundle fan-out: determinism, merging, and validation.
+
+``parallel_bundles`` fans independent per-bundle launches over a
+thread pool.  Because bundles own disjoint query ids and every
+accumulation runs in bundle order after the pool drains, the parallel
+path must be *bit-identical* to serial execution — results, breakdown
+charges, and the recorded span tree alike.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.engine import RTNNConfig, RTNNEngine, VARIANTS
+from repro.core.parallel import BundleJob, execute_bundles, graft_spans
+from repro.obs.tracer import NULL_TRACER, RecordingTracer
+from repro.utils.rng import default_rng
+
+
+def _clustered_world(n=900, n_queries=240, seed=3):
+    rng = default_rng(seed)
+    centers = rng.random((16, 3)) * 4.0
+    pts = centers[rng.integers(0, len(centers), n)] + rng.normal(0, 0.02, (n, 3))
+    return pts, pts[:n_queries]
+
+
+def _strip(span):
+    return (
+        span.name,
+        span.phase,
+        dict(span.counters),
+        dict(span.extras),
+        [_strip(c) for c in span.children],
+    )
+
+
+def _run(points, queries, variant, mode, workers):
+    cfg = VARIANTS[variant]
+    if workers:
+        cfg = replace(cfg, parallel_bundles=workers)
+    tracer = RecordingTracer()
+    engine = RTNNEngine(points, config=cfg, tracer=tracer)
+    if mode == "knn":
+        res = engine.knn_search(queries, k=8, radius=0.3)
+    else:
+        res = engine.range_search(queries, radius=0.3, k=8)
+    return res, res.report, tracer
+
+
+@pytest.mark.parametrize("variant", ["sched+part", "sched+part+bundle"])
+@pytest.mark.parametrize("mode", ["knn", "range"])
+def test_parallel_matches_serial_bitwise(variant, mode):
+    points, queries = _clustered_world()
+    serial_res, serial_rep, serial_tr = _run(points, queries, variant, mode, 0)
+    par_res, par_rep, par_tr = _run(points, queries, variant, mode, 4)
+
+    assert np.array_equal(serial_res.indices, par_res.indices)
+    assert np.array_equal(serial_res.counts, par_res.counts)
+    assert np.array_equal(serial_res.sq_distances, par_res.sq_distances)
+    for field in ("data", "opt", "bvh", "fs", "search"):
+        assert getattr(serial_rep.breakdown, field) == getattr(
+            par_rep.breakdown, field
+        ), field
+    assert serial_rep.l1_hit_rate == par_rep.l1_hit_rate
+    assert serial_rep.sm_occupancy == par_rep.sm_occupancy
+    assert [_strip(s) for s in serial_tr.spans] == [_strip(s) for s in par_tr.spans]
+
+
+def test_parallel_single_bundle_degenerates_to_serial():
+    # a uniform blob yields one bundle; the pool path must not engage
+    points = default_rng(0).random((300, 3))
+    serial_res, _, _ = _run(points, points[:64], "sched+part", "knn", 0)
+    par_res, _, _ = _run(points, points[:64], "sched+part", "knn", 8)
+    assert np.array_equal(serial_res.indices, par_res.indices)
+
+
+def test_parallel_bundles_validation():
+    points, queries = _clustered_world(n=200, n_queries=16)
+    cfg = replace(VARIANTS["sched+part"], parallel_bundles=0)
+    engine = RTNNEngine(points, config=cfg)
+    with pytest.raises(ValueError):
+        engine.knn_search(queries, k=4, radius=0.2)
+    cfg = replace(VARIANTS["sched+part"], parallel_bundles=-2)
+    engine = RTNNEngine(points, config=cfg)
+    with pytest.raises(ValueError):
+        engine.knn_search(queries, k=4, radius=0.2)
+
+
+def test_config_defaults_to_serial():
+    assert RTNNConfig().parallel_bundles is None
+    for cfg in VARIANTS.values():
+        assert cfg.parallel_bundles is None
+
+
+# ----------------------------------------------------------------------
+# executor building blocks
+# ----------------------------------------------------------------------
+class _FakePipeline:
+    def launch(self, gas, rays, shader, is_kind, tracer=None):
+        with tracer.span("launch", phase="traverse"):
+            pass
+        return gas * 10
+
+
+class _FakeRays:
+    query_ids = np.arange(3)
+
+
+def _jobs(n):
+    return [
+        BundleJob(index=i, gas=i, rays=_FakeRays(), shader=None,
+                  is_kind=None, aabb_width=0.5)
+        for i in range(n)
+    ]
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_execute_bundles_preserves_order(workers):
+    outcomes = execute_bundles(_FakePipeline(), _jobs(5), workers)
+    assert [o.index for o in outcomes] == list(range(5))
+    assert [o.launch for o in outcomes] == [i * 10 for i in range(5)]
+    for i, o in enumerate(outcomes):
+        assert [s.name for s in o.spans] == [f"bundle[{i}]"]
+        assert [c.name for c in o.spans[0].children] == ["launch"]
+
+
+def test_graft_spans_lands_under_open_span():
+    donor = RecordingTracer()
+    with donor.span("inner"):
+        pass
+    target = RecordingTracer()
+    with target.span("outer"):
+        graft_spans(target, donor.spans)
+    assert [s.name for s in target.spans] == ["outer"]
+    assert [c.name for c in target.spans[0].children] == ["inner"]
+    graft_spans(target, donor.spans)  # no open span -> top level
+    assert [s.name for s in target.spans] == ["outer", "inner"]
+
+
+def test_graft_spans_noops_on_disabled_tracer():
+    donor = RecordingTracer()
+    with donor.span("x"):
+        pass
+    graft_spans(NULL_TRACER, donor.spans)  # must not raise or record

@@ -78,3 +78,31 @@ def test_search_results_helpers():
 def test_run_report_modeled_time():
     rep = RunReport(breakdown=Breakdown(search=2.0, data=1.0))
     assert rep.modeled_time == 3.0
+
+
+def test_pair_distance_scratch_is_bit_identical():
+    from repro.core.shaders import _PairDistance, _pair_sq_dist
+
+    rng = np.random.default_rng(9)
+    a = rng.random((500, 3))
+    b = rng.random((300, 3))
+    dist = _PairDistance()
+    # shrinking then growing batches exercise buffer reuse and regrowth
+    for n in (200, 7, 450, 1):
+        a_ids = rng.integers(0, len(a), n)
+        b_ids = rng.integers(0, len(b), n)
+        got = dist(a, a_ids, b, b_ids)
+        ref = _pair_sq_dist(a[a_ids], b[b_ids])
+        assert got.shape == ref.shape
+        assert (got == ref).all()  # bit-identical, not approximately
+
+
+def test_pair_distance_falls_back_off_float64():
+    from repro.core.shaders import _PairDistance, _pair_sq_dist
+
+    a = np.arange(12, dtype=np.float32).reshape(4, 3)
+    b = np.arange(12, dtype=np.float64).reshape(4, 3)[::-1].copy()
+    ids = np.array([0, 3, 1])
+    dist = _PairDistance()
+    got = dist(a, ids, b, ids)
+    assert (got == _pair_sq_dist(a[ids], b[ids])).all()
