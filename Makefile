@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint analyze baseline bench bench-smoke profile trace-demo ci
+.PHONY: test lint analyze baseline bench bench-smoke serve-smoke profile trace-demo ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,6 +29,15 @@ bench:
 bench-smoke:
 	$(PYTHON) -m repro.obs.bench --smoke
 
+# Serving-tier load check: ~2s of seeded open-loop traffic through the
+# micro-batching service; fails on any errored request, on batch
+# occupancy never exceeding 1 (no coalescing), or on a non-bit-identical
+# spot-check vs direct engine calls.
+serve-smoke:
+	$(PYTHON) -m repro.cli serve --dataset Bunny-360K --scale 0.03 \
+	  --mode knn -k 4 --rps 300 --clients 4 --duration 2 \
+	  --window-ms 10 --seed 0 --check
+
 # cProfile the fully-optimized large scenario (override with
 # PROFILE_SCENARIO=<name> to pick another suite entry).
 profile:
@@ -39,4 +48,4 @@ trace-demo:
 	$(PYTHON) -m repro.cli trace --dataset KITTI-1M --scale 0.002
 
 # Everything CI gates on.
-ci: test analyze bench-smoke
+ci: test analyze bench-smoke serve-smoke

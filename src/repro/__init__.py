@@ -15,7 +15,8 @@ Quick start::
 
 Packages: :mod:`repro.core` (the paper's contribution),
 :mod:`repro.optix` / :mod:`repro.bvh` / :mod:`repro.gpu` (the simulated
-hardware substrate), :mod:`repro.baselines` (cuNSearch / FRNN /
+hardware substrate), :mod:`repro.serve` (the async micro-batching
+service tier), :mod:`repro.baselines` (cuNSearch / FRNN /
 PCL-Octree / FastRNN analogues), :mod:`repro.datasets` (synthetic
 KITTI / 3-D-scan / N-body workloads), :mod:`repro.experiments` (one
 runner per figure of the paper).

@@ -69,6 +69,26 @@ class SearchSession:
         session.engine = self.engine.with_config(**changes)
         return session
 
+    def serve(self, config=None, faults=None, tracer=None):
+        """A micro-batching async service over this session's engine.
+
+        Returns an *unstarted* :class:`~repro.serve.service.SearchService`;
+        use it as an async context manager (or call ``await start()``)::
+
+            async with session.serve() as svc:
+                res = await svc.submit("knn", queries, k=8, radius=0.1)
+
+        Concurrent compatible submissions are fused into single engine
+        launches that share this session's GAS cache; per-request
+        results stay bit-identical to direct :meth:`knn_search` /
+        :meth:`range_search` calls. See ``docs/serving.md``.
+        """
+        from repro.serve.service import SearchService
+
+        return SearchService(
+            self.engine, config=config, faults=faults, tracer=tracer
+        )
+
     # ------------------------------------------------------------------
     @property
     def points(self):

@@ -1,8 +1,9 @@
 """Command-line interface.
 
-Three subcommands::
+Subcommands::
 
     repro search      --dataset KITTI-12M --mode knn -k 8        # or --points file.ply
+    repro serve       --dataset uniform-1M --rps 200 --duration 2  # micro-batching service
     repro trace       --dataset uniform-1M --scale 0.01          # span tree + counters
     repro datasets    [--generate NAME --out cloud.ply]
     repro experiments [--only fig11] [--scale 0.25]
@@ -15,6 +16,7 @@ Installed as the ``repro`` console script; also runnable as
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -25,12 +27,33 @@ from repro.datasets import DATASETS, load, read_ply, read_xyz, write_ply
 from repro.gpu.device import KNOWN_DEVICES, RTX_2080
 
 
+def _cli_error(msg: str) -> SystemExit:
+    """One-line usage error: print to stderr, exit with code 2."""
+    print(f"repro: error: {msg}", file=sys.stderr)
+    return SystemExit(2)
+
+
 def _load_points(arg: str) -> np.ndarray:
     if arg.endswith(".ply"):
         return read_ply(arg)
     if arg.endswith((".xyz", ".txt")):
         return read_xyz(arg)
-    raise SystemExit(f"unsupported point file (use .ply/.xyz/.txt): {arg}")
+    raise _cli_error(f"unsupported point file (use .ply/.xyz/.txt): {arg}")
+
+
+def _validate_point_args(args) -> None:
+    """Fail fast (exit 2, one line) on bad inputs, before any loading."""
+    for attr in ("points", "queries"):
+        path = getattr(args, attr, None)
+        if path and not os.path.isfile(path):
+            raise _cli_error(f"--{attr}: no such file: {path}")
+    if getattr(args, "k", 1) < 1:
+        raise _cli_error(f"-k must be >= 1, got {args.k}")
+    radius = getattr(args, "radius", None)
+    if radius is not None and radius <= 0:
+        raise _cli_error(f"--radius must be positive, got {radius:g}")
+    if getattr(args, "repeat", 1) < 1:
+        raise _cli_error(f"--repeat must be >= 1, got {args.repeat}")
 
 
 def _add_search(sub):
@@ -57,6 +80,7 @@ def _add_search(sub):
 
 
 def _cmd_search(args) -> int:
+    _validate_point_args(args)
     if args.dataset:
         points, spec = load(args.dataset, scale=args.scale)
         radius = args.radius if args.radius else spec.radius
@@ -114,6 +138,150 @@ def _cmd_search(args) -> int:
             sq_distances=res.sq_distances,
         )
         print(f"results written to {args.out}")
+    return 0
+
+
+def _add_serve(sub):
+    p = sub.add_parser(
+        "serve",
+        help="run the micro-batching search service under synthetic load",
+    )
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--points", help="point cloud file (.ply/.xyz)")
+    src.add_argument("--dataset", choices=sorted(DATASETS), help="registry dataset")
+    p.add_argument("--scale", type=float, default=1.0, help="registry dataset scale")
+    p.add_argument("--mode", choices=("knn", "range"), default="knn")
+    p.add_argument("-k", type=int, default=8, help="neighbor bound K")
+    p.add_argument("-r", "--radius", type=float, help="search radius "
+                   "(default: registry radius or scene-extent/100)")
+    p.add_argument("--device", choices=sorted(KNOWN_DEVICES), default=RTX_2080.name)
+    p.add_argument("--rps", type=float, default=200.0,
+                   help="aggregate open-loop arrival rate (default 200)")
+    p.add_argument("--clients", type=int, default=4,
+                   help="concurrent open-loop clients (default 4)")
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="seconds of offered load (default 2)")
+    p.add_argument("--queries-per-request", type=int, default=8, metavar="N",
+                   help="queries per synthetic request (default 8)")
+    p.add_argument("--window-ms", type=float, default=5.0,
+                   help="batching window in milliseconds (default 5)")
+    p.add_argument("--depth", type=int, default=256,
+                   help="admission queue depth bound (default 256)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-request deadline in milliseconds (default: none)")
+    p.add_argument("--seed", type=int, default=0, help="load-generator seed")
+    p.add_argument("--check", action="store_true",
+                   help="smoke assertions: zero errors, occupancy > 1, and a "
+                        "bit-identical spot-check vs direct engine calls")
+    p.add_argument("--json", dest="json_out", metavar="PATH",
+                   help="also write the service RunReport as JSON ('-' for stdout)")
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.api import SearchSession
+    from repro.serve import LoadSpec, ServiceConfig, run_load, spot_check
+
+    _validate_point_args(args)
+    if args.rps <= 0 or args.duration <= 0 or args.clients < 1:
+        raise _cli_error("--rps/--duration must be positive, --clients >= 1")
+    if args.dataset:
+        points, spec = load(args.dataset, scale=args.scale)
+        radius = args.radius if args.radius else spec.radius
+    else:
+        points = _load_points(args.points)
+        radius = args.radius
+        if radius is None:
+            extent = float((points.max(axis=0) - points.min(axis=0)).max())
+            radius = extent / 100.0
+
+    session = SearchSession(points, device=KNOWN_DEVICES[args.device])
+    config = ServiceConfig(
+        max_queue_depth=args.depth,
+        batch_window_s=args.window_ms / 1e3,
+    )
+    load_spec = LoadSpec(
+        rps=args.rps,
+        clients=args.clients,
+        duration_s=args.duration,
+        queries_per_request=args.queries_per_request,
+        mode=args.mode,
+        k=args.k,
+        radius=radius,
+        deadline_s=None if args.deadline_ms is None else args.deadline_ms / 1e3,
+        seed=args.seed,
+    )
+
+    async def drive():
+        service = session.serve(config=config)
+        async with service:
+            outcome = await run_load(service, points, load_spec)
+            checked = 0
+            if args.check:
+                checked = await spot_check(
+                    service, session.engine, points, load_spec
+                )
+        return service, outcome, checked
+
+    service, outcome, checked = asyncio.run(drive())
+    roll = service.metrics.rollup()
+
+    print(f"serve: {args.mode} over {len(points)} points, r={radius:g}, "
+          f"k={args.k} on {args.device}")
+    print(f"offered load: {args.rps:g} rps x {args.duration:g}s "
+          f"({args.clients} clients, {args.queries_per_request} queries/req, "
+          f"window {args.window_ms:g} ms)")
+    req = roll["requests"]
+    print(f"requests: {req['submitted']} admitted, {req['completed']} completed, "
+          f"{req['rejected']} rejected, {req['expired']} expired, "
+          f"{req['degraded']} degraded, {req['retries']} retries")
+    bat = roll["batches"]
+    occ_mean = bat["occupancy_mean"] or 0.0
+    print(f"batches: {bat['count']} (fallback {bat['fallback']}), occupancy "
+          f"mean {occ_mean:.2f} max {bat['occupancy_max'] or 0}")
+    lat = roll["latency_s"]
+    if lat["p50"] is not None:
+        print(f"latency: p50 {lat['p50'] * 1e3:.1f} ms, "
+              f"p99 {lat['p99'] * 1e3:.1f} ms, max {lat['max'] * 1e3:.1f} ms")
+    print(f"queue: depth max {roll['queue']['depth_max']}, "
+          f"mean {roll['queue']['depth_mean']:.1f}")
+
+    report = service.report(
+        "repro serve",
+        scenario={
+            "n_points": len(points),
+            "mode": args.mode,
+            "k": args.k,
+            "radius": radius,
+            "rps": args.rps,
+            "clients": args.clients,
+            "duration_s": args.duration,
+            "seed": args.seed,
+        },
+    )
+    if args.json_out == "-":
+        print(report.to_json())
+    elif args.json_out:
+        with open(args.json_out, "w") as fh:
+            fh.write(report.to_json())
+            fh.write("\n")
+        print(f"report written to {args.json_out}")
+
+    if args.check:
+        failures = []
+        if outcome.errored:
+            failures.append(f"{outcome.errored} errored requests "
+                            f"({outcome.errors[:3]})")
+        if (bat["occupancy_max"] or 0) <= 1:
+            failures.append("no coalescing observed (batch occupancy never > 1)")
+        if failures:
+            for f in failures:
+                print(f"serve check FAILED: {f}", file=sys.stderr)
+            return 1
+        print(f"serve check ok: zero errors, occupancy max "
+              f"{bat['occupancy_max']}, {checked} requests spot-checked "
+              f"bit-identical vs direct engine calls")
     return 0
 
 
@@ -259,6 +427,7 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     _add_search(sub)
+    _add_serve(sub)
     _add_trace(sub)
     _add_datasets(sub)
     _add_experiments(sub)
@@ -277,6 +446,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.command == "search":
         return _cmd_search(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "datasets":

@@ -22,6 +22,14 @@ capacity evicts the least-recently-used entry. :class:`CacheStats`
 counts hits/misses/evictions cumulatively; the engine additionally
 reports per-run tallies through the observability tracer.
 
+The cache is thread-safe: a single lock guards every entry/LRU/stats
+mutation, because a held engine is now reachable concurrently from the
+:mod:`repro.serve` worker thread and direct callers. Individual
+operations are atomic; the engine's lookup-then-insert on a miss is
+*not* one atomic action, so two racing threads may both build the same
+GAS — both builds are identical and the second insert just refreshes
+the entry, costing a duplicate build but never corrupting state.
+
 This module is host-side bookkeeping only: nothing here traverses,
 intersects, or computes distances. The modeled build cost of a *miss*
 is charged by the caller when it builds; a *hit* is the amortization
@@ -32,6 +40,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -109,40 +118,47 @@ class GASCache:
         if self.capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {self.capacity}")
         self._entries: OrderedDict[GASKey, object] = OrderedDict()
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def lookup(self, key: GASKey):
         """The cached GAS for ``key`` or ``None``; counts hit/miss."""
-        gas = self._entries.get(key)
-        if gas is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return gas
+        with self._lock:
+            gas = self._entries.get(key)
+            if gas is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return gas
 
     def insert(self, key: GASKey, gas) -> None:
         """Add (or refresh) an entry, evicting LRU past capacity."""
-        self._entries[key] = gas
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = gas
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def take_all(self) -> list[tuple[GASKey, object]]:
         """Remove and return every entry, LRU-first (for re-keying
         after an in-place point update)."""
-        out = list(self._entries.items())
-        self._entries.clear()
-        return out
+        with self._lock:
+            out = list(self._entries.items())
+            self._entries.clear()
+            return out
 
     def clear(self) -> None:
         """Invalidate every entry (stats stay cumulative)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: GASKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries

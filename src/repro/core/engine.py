@@ -164,6 +164,28 @@ class RTNNEngine:
         """The ``k`` nearest neighbors within ``radius`` per query."""
         return self._run("knn", queries, radius, k)
 
+    def search_fused(
+        self, kind: str, query_groups, radius: float, k: int
+    ) -> list[SearchResults]:
+        """One pipeline pass over several independent query groups.
+
+        Coalesces compatible requests (same point set, mode, ``k`` and
+        ``radius``) into a single run: the data transfer is charged
+        once for the point set, scheduling runs one first-hit pass over
+        the union, and every GAS is resolved through the shared
+        run-local memo and persistent cache. Partitioning and bundling,
+        however, are computed **per group**: each group's queries land
+        in exactly the partitions and bundles a solo call would give
+        them, so each returned :class:`SearchResults` is bit-identical
+        (indices, counts, squared distances) to calling
+        :meth:`knn_search` / :meth:`range_search` with that group
+        alone. The groups share one fused :class:`RunReport` (attached
+        to every result).
+        """
+        if kind not in ("range", "knn"):
+            raise ValueError(f"kind must be 'range' or 'knn', got {kind!r}")
+        return self._run_groups(kind, list(query_groups), radius, k)
+
     # ------------------------------------------------------------------
     # pipeline
     # ------------------------------------------------------------------
@@ -246,13 +268,35 @@ class RTNNEngine:
         return launch_ids, rays, shader, is_kind
 
     def _run(self, kind: str, queries, radius: float, k: int) -> SearchResults:
-        queries = as_points(queries, "queries")
+        return self._run_groups(kind, [queries], radius, k)[0]
+
+    def _run_groups(
+        self, kind: str, groups: list, radius: float, k: int
+    ) -> list[SearchResults]:
+        """Execute one pipeline pass over one or more query groups.
+
+        With a single group this is exactly the classic ``_run`` —
+        same spans, same counter and breakdown accounting (the bench
+        baselines pin that). With several groups, partition/bundle
+        decisions are made per group (see :meth:`search_fused`) while
+        everything else — transfer, scheduling, GAS resolution, the
+        launch loop, the report — runs once over the union.
+        """
+        groups = [as_points(g, "queries") for g in groups]
         radius = check_positive(radius, "radius")
         k = check_positive_int(k, "k")
         cfg = self.config
         if cfg.parallel_bundles is not None:
             check_positive_int(cfg.parallel_bundles, "parallel_bundles")
-        n_q = len(queries)
+        sizes = [len(g) for g in groups]
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        n_q = int(offsets[-1])
+        if len(groups) == 1:
+            queries = groups[0]
+        elif n_q:
+            queries = np.concatenate([g for g in groups if len(g)])
+        else:
+            queries = np.empty((0, self.points.shape[1]), dtype=np.float64)
 
         breakdown = Breakdown()
         if self._pending_bvh_time:
@@ -270,12 +314,34 @@ class RTNNEngine:
         else:
             acc = RangeAccumulator(n_q, k)
 
-        if n_q:
-            bundles, n_partitions, _ = self._make_bundles(
-                kind, queries, radius, k, breakdown
-            )
+        bundles: list[Bundle] = []
+        n_partitions = 0
+        if len(groups) == 1:
+            if n_q:
+                bundles, n_partitions, _ = self._make_bundles(
+                    kind, queries, radius, k, breakdown
+                )
         else:
-            bundles, n_partitions = [], 0
+            # Per-group partitioning/bundling: each group gets exactly
+            # the decision a solo run would, with query ids shifted
+            # into the fused index space.
+            for group, off in zip(groups, offsets):
+                if not len(group):
+                    continue
+                group_bundles, group_parts, _ = self._make_bundles(
+                    kind, group, radius, k, breakdown
+                )
+                n_partitions += group_parts
+                for b in group_bundles:
+                    bundles.append(
+                        Bundle(
+                            query_ids=b.query_ids + int(off),
+                            aabb_width=b.aabb_width,
+                            sphere_test=b.sphere_test,
+                            capped=b.capped,
+                            members=b.members,
+                        )
+                    )
 
         # One GAS per distinct (quantized) AABB width across bundles.
         # The run-local memo keeps within-run reuse free of cache
@@ -417,6 +483,18 @@ class RTNNEngine:
             with self.tracer.span("gas_cache", phase="build") as sp:
                 sp.add(gas_cache_hits=cache_hits, gas_cache_misses=cache_misses)
 
+        extras = {
+            "launch_costs": [lc.cost.total for lc in launches],
+            "aabb_widths": [b.aabb_width for b in bundles],
+            "bundle_sizes": [b.n_queries for b in bundles],
+            "gas_cache": {
+                "hits": cache_hits,
+                "misses": cache_misses,
+                "entries": len(self.gas_cache),
+            },
+        }
+        if len(groups) > 1:
+            extras["fused"] = {"n_groups": len(groups), "group_sizes": sizes}
         report = RunReport(
             breakdown=breakdown,
             is_calls=total_is,
@@ -428,18 +506,19 @@ class RTNNEngine:
             l2_hit_rate=(l2_acc / hit_w) if hit_w else None,
             sm_occupancy=(occ_acc / occ_w) if occ_w else None,
             device=self.device.name,
-            extras={
-                "launch_costs": [lc.cost.total for lc in launches],
-                "aabb_widths": [b.aabb_width for b in bundles],
-                "bundle_sizes": [b.n_queries for b in bundles],
-                "gas_cache": {
-                    "hits": cache_hits,
-                    "misses": cache_misses,
-                    "entries": len(self.gas_cache),
-                },
-            },
+            extras=extras,
         )
-        return SearchResults(idx, counts, d2, report)
+        if len(groups) == 1:
+            return [SearchResults(idx, counts, d2, report)]
+        return [
+            SearchResults(
+                idx[off : off + n].copy(),
+                counts[off : off + n].copy(),
+                d2[off : off + n].copy(),
+                report,
+            )
+            for off, n in zip(offsets, sizes)
+        ]
 
     # ------------------------------------------------------------------
     # structure lifecycle

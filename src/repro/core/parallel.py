@@ -75,12 +75,28 @@ def execute_bundles(
     Outcomes come back in job (= bundle) order regardless of completion
     order. ``max_workers <= 1`` or a single job degenerates to the
     plain serial loop.
+
+    Failure is deterministic: when any job raises, the exception of the
+    *lowest-index* failing job propagates (the same one the serial loop
+    would hit first), not-yet-started jobs are cancelled, and the pool
+    is fully drained before the exception leaves — no launches keep
+    running behind the caller's back, regardless of which worker failed
+    first in wall-clock terms.
     """
     if max_workers <= 1 or len(jobs) <= 1:
         return [run_bundle(pipeline, job) for job in jobs]
     workers = min(max_workers, len(jobs))
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(lambda job: run_bundle(pipeline, job), jobs))
+        futures = [pool.submit(run_bundle, pipeline, job) for job in jobs]
+        try:
+            # Collecting in submission order makes error propagation
+            # deterministic: earlier jobs' results (or exceptions) are
+            # always observed before later ones.
+            return [f.result() for f in futures]
+        except BaseException:
+            for f in futures:
+                f.cancel()
+            raise
 
 
 def graft_spans(tracer: Tracer, spans: list[Span]) -> None:

@@ -1,0 +1,130 @@
+"""Deterministic, seedable fault injection for the search service.
+
+The service's resilience paths — bounded retry with backoff, retry
+exhaustion falling back to the degraded baseline, deadline expiry under
+latency spikes — are only trustworthy if tests can *provoke* them on
+demand and reproducibly. :class:`FaultInjector` sits between the worker
+loop and the engine and injects three fault classes:
+
+* **engine exceptions** — :class:`TransientFault` raised instead of the
+  launch (a flaky device, an OOM, a poisoned structure);
+* **latency spikes** — extra seconds the worker must sleep before the
+  launch (slow device, contended executor);
+* **queue stalls** — extra seconds added before dequeue (a wedged
+  worker), which is how tests force deadlines to expire *while queued*.
+
+Two driving modes compose:
+
+* a **script** — an explicit per-launch list of :class:`Fault` entries
+  consumed in order (index ``i`` applies to the ``i``-th launch
+  attempt); fully deterministic, no randomness involved;
+* **rates** — per-launch Bernoulli draws from a
+  :func:`repro.utils.rng.default_rng` stream, so a fixed seed yields
+  the exact same fault sequence on every run.
+
+The injector never touches results: a launch either happens exactly as
+it would have, or raises/waits first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.queue import ServeError
+from repro.utils.rng import default_rng
+
+
+class TransientFault(ServeError):
+    """An injected engine failure the service should retry."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """What happens to one launch attempt: raise and/or delay."""
+
+    error: bool = False
+    latency_s: float = 0.0
+
+    @classmethod
+    def ok(cls) -> "Fault":
+        return cls()
+
+    @classmethod
+    def fail(cls) -> "Fault":
+        return cls(error=True)
+
+    @classmethod
+    def slow(cls, latency_s: float) -> "Fault":
+        return cls(latency_s=latency_s)
+
+
+class FaultInjector:
+    """Injects faults into the worker loop, deterministically.
+
+    Parameters
+    ----------
+    script:
+        Explicit per-launch faults, consumed in order; launches past
+        the end of the script are clean. Overrides the rate draws for
+        the launches it covers.
+    error_rate, latency_rate, latency_s:
+        Bernoulli fault rates applied to launches beyond the script,
+        drawn from a stream seeded with ``seed``.
+    stall_s:
+        Fixed stall injected before every dequeue (0 = none).
+    seed:
+        Seed for the rate draws; the same seed replays the same fault
+        sequence.
+    """
+
+    def __init__(
+        self,
+        script: list[Fault] | None = None,
+        error_rate: float = 0.0,
+        latency_rate: float = 0.0,
+        latency_s: float = 0.0,
+        stall_s: float = 0.0,
+        seed: int = 0,
+    ):
+        self.script = list(script or [])
+        self.error_rate = float(error_rate)
+        self.latency_rate = float(latency_rate)
+        self.latency_s = float(latency_s)
+        self.stall_s = float(stall_s)
+        self._rng = default_rng(seed)
+        self.launches = 0
+        self.injected_errors = 0
+        self.injected_latency_s = 0.0
+
+    # ------------------------------------------------------------------
+    def on_dequeue(self) -> float:
+        """Seconds the worker must stall before pulling a batch."""
+        return self.stall_s
+
+    def on_launch(self) -> float:
+        """Decide the current launch attempt's fate.
+
+        Returns the latency spike (seconds the worker must wait before
+        launching) and raises :class:`TransientFault` if the attempt is
+        to fail. Either way the attempt counter advances, so scripted
+        sequences progress across retries.
+        """
+        i = self.launches
+        self.launches += 1
+        if i < len(self.script):
+            fault = self.script[i]
+        else:
+            error = self.error_rate > 0.0 and (
+                float(self._rng.random()) < self.error_rate
+            )
+            spike = self.latency_rate > 0.0 and (
+                float(self._rng.random()) < self.latency_rate
+            )
+            fault = Fault(error=error, latency_s=self.latency_s if spike else 0.0)
+        self.injected_latency_s += fault.latency_s
+        if fault.error:
+            self.injected_errors += 1
+            raise TransientFault(
+                f"injected engine fault on launch {i}"
+            )
+        return fault.latency_s

@@ -68,3 +68,57 @@ def test_search_rejects_unknown_extension(tmp_path):
 def test_experiments_unknown_section():
     with pytest.raises(SystemExit):
         main(["experiments", "--only", "fig99"])
+
+
+def test_search_missing_points_file_exits_2(capsys):
+    with pytest.raises(SystemExit) as ei:
+        main(["search", "--points", "/nonexistent/cloud.ply"])
+    assert ei.value.code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error:")
+    assert "--points" in err and "/nonexistent/cloud.ply" in err
+    assert err.count("\n") == 1  # exactly one line
+
+
+def test_search_missing_queries_file_exits_2(tmp_path, capsys):
+    pts = np.random.default_rng(0).random((50, 3))
+    f = tmp_path / "c.ply"
+    write_ply(f, pts)
+    with pytest.raises(SystemExit) as ei:
+        main(["search", "--points", str(f), "--queries", str(tmp_path / "q.ply")])
+    assert ei.value.code == 2
+    assert "--queries" in capsys.readouterr().err
+
+
+def test_search_invalid_scalars_exit_2(tmp_path, capsys):
+    pts = np.random.default_rng(0).random((50, 3))
+    f = tmp_path / "c.ply"
+    write_ply(f, pts)
+    for argv, needle in [
+        (["search", "--points", str(f), "-k", "0"], "-k"),
+        (["search", "--points", str(f), "-r", "-0.5"], "--radius"),
+        (["search", "--points", str(f), "--repeat", "0"], "--repeat"),
+    ]:
+        with pytest.raises(SystemExit) as ei:
+            main(argv)
+        assert ei.value.code == 2
+        assert needle in capsys.readouterr().err
+
+
+def test_serve_rejects_nonpositive_load(capsys):
+    with pytest.raises(SystemExit) as ei:
+        main(["serve", "--dataset", "Bunny-360K", "--scale", "0.03",
+              "--rps", "0"])
+    assert ei.value.code == 2
+    assert "rps" in capsys.readouterr().err
+
+
+def test_serve_smoke_under_synthetic_load(capsys):
+    assert main(["serve", "--dataset", "Bunny-360K", "--scale", "0.03",
+                 "--mode", "knn", "-k", "4", "--rps", "250", "--clients", "3",
+                 "--duration", "0.6", "--window-ms", "20", "--seed", "1",
+                 "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "serve check ok" in out
+    assert "occupancy" in out
+    assert "latency: p50" in out

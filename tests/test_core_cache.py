@@ -3,6 +3,8 @@ the warm-path bit-identity guarantee."""
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -72,6 +74,43 @@ def test_cache_capacity_validated():
     with pytest.raises(ValueError):
         GASCache(capacity=0)
     assert GASCache().capacity == DEFAULT_CAPACITY
+
+
+def test_cache_consistent_under_concurrent_hammer():
+    """Many threads racing lookup/insert/len must never corrupt the
+    cache: the capacity bound holds at every observation, stats add up,
+    and no operation raises (the serve worker thread and direct engine
+    callers share one cache)."""
+    cache = GASCache(capacity=8)
+    n_threads, n_ops = 8, 400
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(n_threads)
+
+    def hammer(wid: int) -> None:
+        try:
+            barrier.wait()
+            for i in range(n_ops):
+                key = _key((wid * 13 + i) % 24)
+                if cache.lookup(key) is None:
+                    cache.insert(key, f"gas-{wid}-{i}")
+                assert len(cache) <= 8
+                if i % 50 == 49:
+                    cache.lookup(_key(i % 24))
+        except BaseException as exc:  # surfaced below; threads can't fail a test
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(w,)) for w in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert len(cache) <= 8
+    total_lookups = n_threads * (n_ops + n_ops // 50)
+    assert cache.stats.hits + cache.stats.misses == total_lookups
+    assert cache.stats.misses >= 24  # every distinct key missed at least once
 
 
 def test_take_all_and_clear_keep_stats():

@@ -7,6 +7,7 @@ path must be *bit-identical* to serial execution — results, breakdown
 charges, and the recorded span tree alike.
 """
 
+import time
 from dataclasses import replace
 
 import numpy as np
@@ -123,6 +124,64 @@ def test_execute_bundles_preserves_order(workers):
     for i, o in enumerate(outcomes):
         assert [s.name for s in o.spans] == [f"bundle[{i}]"]
         assert [c.name for c in o.spans[0].children] == ["launch"]
+
+
+class _FlakyPipeline:
+    """Fails the launches whose job index is in ``fail``, optionally
+    after a delay, so tests can stage any completion order."""
+
+    def __init__(self, fail, delay_s=None):
+        self.fail = set(fail)
+        self.delay_s = dict(delay_s or {})
+
+    def launch(self, gas, rays, shader, is_kind, tracer=None):
+        with tracer.span("launch", phase="traverse"):
+            pass
+        delay = self.delay_s.get(gas, 0.0)
+        if delay:
+            time.sleep(delay)
+        if gas in self.fail:
+            raise RuntimeError(f"boom[{gas}]")
+        return gas * 10
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_execute_bundles_propagates_lowest_index_failure(workers):
+    # jobs 2 and 4 both fail; serial and parallel must surface the same
+    # exception — the one the serial loop would hit first
+    with pytest.raises(RuntimeError, match=r"boom\[2\]"):
+        execute_bundles(_FlakyPipeline({2, 4}), _jobs(6), workers)
+
+
+def test_execute_bundles_failure_deterministic_under_timing():
+    # job 3 fails immediately; job 1 fails only after a delay — the
+    # propagated exception must still be job 1's, independent of which
+    # worker failed first in wall-clock terms
+    pipeline = _FlakyPipeline({1, 3}, delay_s={1: 0.05})
+    with pytest.raises(RuntimeError, match=r"boom\[1\]"):
+        execute_bundles(pipeline, _jobs(5), 4)
+
+
+def test_execute_bundles_drains_pool_before_raising():
+    # after the exception leaves, no launch may still be running: every
+    # job either finished or was cancelled before it started
+    started = []
+
+    class _P(_FlakyPipeline):
+        def launch(self, gas, rays, shader, is_kind, tracer=None):
+            started.append(gas)
+            return super().launch(gas, rays, shader, is_kind, tracer=tracer)
+
+    # job 0 fails instantly; every other job is slow, so most are still
+    # pending when the exception is observed and must be cancelled
+    delays = {g: 0.01 for g in range(1, 64)}
+    with pytest.raises(RuntimeError, match=r"boom\[0\]"):
+        execute_bundles(_P({0}, delay_s=delays), _jobs(64), 2)
+    n_started = len(started)
+    # the with-block has exited, so the pool is gone; nothing new starts
+    time.sleep(0.02)
+    assert len(started) == n_started
+    assert n_started < 64  # cancellation actually pruned pending jobs
 
 
 def test_graft_spans_lands_under_open_span():
