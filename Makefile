@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint analyze baseline bench bench-smoke serve-smoke profile trace-demo ci
+.PHONY: test lint lint-concurrency analyze baseline bench bench-smoke serve-smoke profile trace-demo ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,6 +14,12 @@ lint:
 # Domain rules only.
 analyze:
 	$(PYTHON) -m repro.analysis src/repro
+
+# Project-wide concurrency/determinism pass only (CON/DET families):
+# cross-module call-graph contexts, lock-guard inference, RNG/clock/
+# ordering discipline. Gates the sharded-serving work.
+lint-concurrency:
+	$(PYTHON) -m repro.analysis src/repro --select CON --select DET
 
 # Accept the current findings as technical debt (use sparingly).
 baseline:
@@ -48,4 +54,4 @@ trace-demo:
 	$(PYTHON) -m repro.cli trace --dataset KITTI-1M --scale 0.002
 
 # Everything CI gates on.
-ci: test analyze bench-smoke serve-smoke
+ci: test analyze lint-concurrency bench-smoke serve-smoke

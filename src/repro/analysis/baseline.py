@@ -4,6 +4,12 @@ A baseline is a JSON list of finding fingerprints. ``--write-baseline``
 records the current findings; subsequent runs subtract them. Matching
 is line-insensitive (rule, path, message), so baselined debt survives
 unrelated edits but resurfaces the moment its message changes.
+
+Each entry may carry a ``why`` field — a one-line justification for
+accepting the finding. ``--write-baseline`` preserves justifications
+for entries that survive the rewrite. Entries that no longer match any
+finding are *stale*: the debt was paid (or the code deleted) and the
+entry should be dropped, so :func:`apply_baseline` reports them.
 """
 
 from __future__ import annotations
@@ -15,8 +21,11 @@ from repro.analysis.findings import Finding
 
 _VERSION = 1
 
+#: a baseline fingerprint: (rule, path, message)
+Fingerprint = tuple[str, str, str]
 
-def load_baseline(path: Path | str) -> set[tuple[str, str, str]]:
+
+def load_baseline(path: Path | str) -> set[Fingerprint]:
     """Fingerprints recorded in ``path``; empty set if absent."""
     path = Path(path)
     if not path.is_file():
@@ -29,25 +38,51 @@ def load_baseline(path: Path | str) -> set[tuple[str, str, str]]:
     }
 
 
+def load_justifications(path: Path | str) -> dict[Fingerprint, str]:
+    """``why`` annotations keyed by fingerprint; empty dict if absent."""
+    path = Path(path)
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text())
+    return {
+        (e["rule"], e["path"], e["message"]): e["why"]
+        for e in data.get("findings", [])
+        if "why" in e
+    }
+
+
 def write_baseline(path: Path | str, findings: list[Finding]) -> None:
-    """Record ``findings`` (sorted, deduplicated) as the new baseline."""
+    """Record ``findings`` (sorted, deduplicated) as the new baseline.
+
+    ``why`` justifications already present in the file are kept for
+    fingerprints that are still live.
+    """
+    path = Path(path)
+    why = load_justifications(path) if path.is_file() else {}
     entries = sorted(
         {f.fingerprint for f in findings},
     )
     payload = {
         "version": _VERSION,
         "findings": [
-            {"rule": r, "path": p, "message": m} for r, p, m in entries
+            {"rule": r, "path": p, "message": m}
+            | ({"why": why[(r, p, m)]} if (r, p, m) in why else {})
+            for r, p, m in entries
         ],
     }
-    path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def apply_baseline(
-    findings: list[Finding], accepted: set[tuple[str, str, str]]
-) -> tuple[list[Finding], int]:
-    """Split findings into (new, n_baselined)."""
+    findings: list[Finding], accepted: set[Fingerprint]
+) -> tuple[list[Finding], int, list[Fingerprint]]:
+    """Split findings into (new, n_baselined, stale_entries).
+
+    ``stale_entries`` are accepted fingerprints that matched nothing in
+    this run — debt that was paid off but never removed from the file.
+    """
     fresh = [f for f in findings if f.fingerprint not in accepted]
-    return fresh, len(findings) - len(fresh)
+    live = {f.fingerprint for f in findings}
+    stale = sorted(accepted - live)
+    return fresh, len(findings) - len(fresh), stale

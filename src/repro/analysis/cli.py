@@ -24,6 +24,7 @@ from repro.analysis.baseline import (
 from repro.analysis.config import load_config
 from repro.analysis.engine import analyze_paths
 from repro.analysis.rules import all_rules
+from repro.analysis.sarif import render_sarif
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,9 +40,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format",
+        help="output format (sarif: GitHub code-scanning annotations)",
+    )
+    p.add_argument(
+        "--explain",
+        metavar="RULEID",
+        help="print a rule's rationale and bad/good example, then exit",
     )
     p.add_argument(
         "--baseline",
@@ -93,6 +99,9 @@ def main(argv=None) -> int:
             print(f"{rule.rule_id}  [{rule.severity.value:7s}] {rule.summary}")
         return 0
 
+    if args.explain:
+        return _explain(args.explain)
+
     config = load_config(root)
     if args.select:
         config.select = tuple(args.select)
@@ -116,9 +125,17 @@ def main(argv=None) -> int:
         return 0
 
     n_baselined = 0
+    stale: list = []
     if not args.no_baseline:
-        findings, n_baselined = apply_baseline(
+        findings, n_baselined, stale = apply_baseline(
             findings, load_baseline(baseline_path)
+        )
+    for rule, path, message in stale:
+        print(
+            f"warning: stale baseline entry {rule} @ {path}: {message!r} "
+            "matches no current finding; remove it (or rerun "
+            "--write-baseline)",
+            file=sys.stderr,
         )
 
     if args.format == "json":
@@ -128,11 +145,17 @@ def main(argv=None) -> int:
                     "modules": n_modules,
                     "findings": [f.to_dict() for f in findings],
                     "baselined": n_baselined,
+                    "stale_baseline": [
+                        {"rule": r, "path": p, "message": m}
+                        for r, p, m in stale
+                    ],
                     "counts": _counts(findings),
                 },
                 indent=2,
             )
         )
+    elif args.format == "sarif":
+        print(render_sarif(findings, all_rules()))
     else:
         for f in findings:
             print(f.render())
@@ -141,6 +164,22 @@ def main(argv=None) -> int:
             tail += f" ({n_baselined} baselined)"
         print(tail)
     return 1 if findings else 0
+
+
+def _explain(rule_id: str) -> int:
+    """Print one rule's docstring — rationale plus bad/good example."""
+    import inspect
+
+    rule_id = rule_id.upper()
+    for rule in all_rules():
+        if rule.rule_id == rule_id:
+            doc = inspect.cleandoc(type(rule).__doc__ or "")
+            print(f"{rule.rule_id} [{rule.severity.value}]: {rule.summary}")
+            print()
+            print(doc.replace("::", ":"))
+            return 0
+    print(f"unknown rule id: {rule_id}", file=sys.stderr)
+    return 2
 
 
 def _counts(findings) -> dict[str, int]:

@@ -54,6 +54,15 @@ DEFAULT_SHADER_MODULES = (
 #: lockstep (VEC*) and shader-contract (SHD*) rules do not apply.
 DEFAULT_EXEMPT_MODULES = ("repro/obs/",)
 
+#: engine methods whose bodies (and transitive callees) count as the
+#: engine-hot-path execution context for the CON/DET project rules
+DEFAULT_ENGINE_ENTRY_POINTS = (
+    "knn_search",
+    "range_search",
+    "search_fused",
+    "update_points",
+)
+
 
 @dataclass
 class AnalysisConfig:
@@ -65,6 +74,7 @@ class AnalysisConfig:
     shader_modules: tuple[str, ...] = DEFAULT_SHADER_MODULES
     exempt_modules: tuple[str, ...] = DEFAULT_EXEMPT_MODULES
     array_names: tuple[str, ...] = DEFAULT_ARRAY_NAMES
+    engine_entry_points: tuple[str, ...] = DEFAULT_ENGINE_ENTRY_POINTS
     rng_module: str = "repro/utils/rng.py"
     select: tuple[str, ...] = ()     # empty = all rules
     ignore: tuple[str, ...] = ()
@@ -120,6 +130,7 @@ _KEY_MAP = {
     "shader-modules": "shader_modules",
     "exempt-modules": "exempt_modules",
     "array-names": "array_names",
+    "engine-entry-points": "engine_entry_points",
     "rng-module": "rng_module",
     "select": "select",
     "ignore": "ignore",

@@ -18,9 +18,18 @@ from pathlib import Path
 
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.rules import Rule, all_rules
+from repro.analysis.rules import ProjectRule, Rule, all_rules
 
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<ids>[A-Z0-9, \t]+))?", re.I)
+
+#: statement types whose span participates in multi-line noqa matching
+#: (compound statements span their whole body, which would let one
+#: trailing comment silence a function — only simple statements count)
+_SIMPLE_STMTS = (
+    ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Expr, ast.Return,
+    ast.Raise, ast.Assert, ast.Delete, ast.Import, ast.ImportFrom,
+    ast.Global, ast.Nonlocal,
+)
 
 
 @dataclass
@@ -33,6 +42,9 @@ class ModuleContext:
     config: AnalysisConfig
     #: line -> suppressed rule ids; empty set means "all rules"
     noqa: dict[int, set[str]] = field(default_factory=dict)
+    #: line -> (first, last) line of the smallest simple statement
+    #: covering it, for multi-line statements only
+    stmt_spans: dict[int, tuple[int, int]] = field(default_factory=dict)
 
     @classmethod
     def from_source(
@@ -53,19 +65,39 @@ class ModuleContext:
                     if ids
                     else set()
                 )
+        spans: dict[int, tuple[int, int]] = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, _SIMPLE_STMTS):
+                continue
+            end = getattr(node, "end_lineno", None)
+            if end is None or end <= node.lineno:
+                continue
+            for ln in range(node.lineno, end + 1):
+                prev = spans.get(ln)
+                if prev is None or (end - node.lineno) < (prev[1] - prev[0]):
+                    spans[ln] = (node.lineno, end)
         return cls(
             rel_path=rel_path,
             tree=tree,
             source_lines=lines,
             config=config or AnalysisConfig(),
             noqa=noqa,
+            stmt_spans=spans,
         )
 
     def suppressed(self, finding: Finding) -> bool:
-        ids = self.noqa.get(finding.line)
-        if ids is None:
-            return False
-        return not ids or finding.rule_id.upper() in ids
+        # A noqa comment suppresses on its own line; for a multi-line
+        # simple statement, a comment on the statement's first or last
+        # physical line covers findings anywhere inside it.
+        candidates = {finding.line}
+        span = self.stmt_spans.get(finding.line)
+        if span is not None:
+            candidates.update(span)
+        for line in candidates:
+            ids = self.noqa.get(line)
+            if ids is not None and (not ids or finding.rule_id.upper() in ids):
+                return True
+        return False
 
 
 def _rel_path(path: Path, root: Path) -> str:
@@ -108,6 +140,11 @@ def analyze_paths(
     config = config or AnalysisConfig()
     root = Path(root or Path.cwd())
     rules = all_rules()
+    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [
+        r for r in rules
+        if isinstance(r, ProjectRule) and config.rule_enabled(r.rule_id)
+    ]
     files: list[Path] = []
     for p in paths:
         p = Path(p)
@@ -117,6 +154,7 @@ def analyze_paths(
             files.append(p)
 
     findings: list[Finding] = []
+    contexts: list[ModuleContext] = []
     n_modules = 0
     for f in files:
         rel = _rel_path(f, root)
@@ -125,7 +163,7 @@ def analyze_paths(
         n_modules += 1
         try:
             source = f.read_text()
-            findings.extend(analyze_source(source, rel, config, rules))
+            ctx = ModuleContext.from_source(source, rel, config)
         except SyntaxError as exc:
             findings.append(
                 Finding(
@@ -137,5 +175,22 @@ def analyze_paths(
                     message=f"syntax error: {exc.msg}",
                 )
             )
+            continue
+        contexts.append(ctx)
+        findings.extend(analyze_source(source, rel, config, module_rules))
+
+    # Project rules see every module at once: call graphs and lock
+    # tables cross file boundaries, so they cannot run per-module.
+    if contexts and project_rules:
+        from repro.analysis.project import ProjectContext
+
+        project = ProjectContext.build(contexts)
+        by_path = {ctx.rel_path: ctx for ctx in contexts}
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                owner = by_path.get(finding.path)
+                if owner is None or not owner.suppressed(finding):
+                    findings.append(finding)
+
     findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
     return findings, n_modules

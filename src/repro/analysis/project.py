@@ -1,0 +1,473 @@
+"""Whole-project pass infrastructure for the CON/DET rule families.
+
+The per-module rules (SHD/VEC/COST/API) see one file at a time, which
+is structurally blind to the two bug classes that sink concurrent
+serving: unguarded cross-thread mutation and hidden nondeterminism —
+both are properties of how *functions across modules* reach each
+other. :class:`ProjectContext` is the shared substrate those rules run
+on:
+
+* a **symbol table** of every module-level binding (with mutability),
+  every class (with its attributes), and every lock object
+  (``threading.Lock/RLock/Condition/Semaphore`` and ``asyncio.Lock``),
+  whether class-owned (``self._lock = threading.Lock()``) or
+  module-level;
+* an **execution-context classification** of every function. Roots
+  are structural, not nominal: a callable handed to
+  ``ThreadPoolExecutor.submit``/``.map``, ``threading.Thread(target=)``
+  or ``loop.run_in_executor`` runs on a *worker thread*; every
+  ``async def`` runs on the *event loop*; a configured engine entry
+  point (``knn_search``, ``search_fused``, …) in a hot module is the
+  *engine hot path*. Contexts propagate down a name-resolved call
+  graph: whatever a threaded function calls is itself threaded. The
+  propagation over-approximates (a name may resolve to several
+  functions), which is the right direction for a linter;
+* **lock-guard regions**: :func:`walk_held` yields every AST node of a
+  function together with the tuple of locks held around it, inferred
+  from ``with self._lock:`` / ``with MODULE_LOCK:`` blocks, so rules
+  can ask "is this write guarded?" and "in what order are locks
+  acquired?".
+
+Determinism of the analyzer itself is part of the contract: modules
+are indexed in the caller's (sorted) order, the worklist is seeded in
+sorted order, and every collection a rule may iterate is either
+insertion-ordered from a deterministic walk or explicitly sorted — two
+runs over the same tree produce byte-identical findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.engine import ModuleContext
+
+#: execution-context labels (values are stable — they appear in messages)
+CTX_THREADED = "worker-thread"
+CTX_EVENT_LOOP = "event-loop"
+CTX_HOT_PATH = "engine-hot-path"
+
+#: constructors recognized as thread-synchronization locks
+_THREAD_LOCKS = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+#: mutable-container constructors for module-global / attribute tracking
+_MUTABLE_CALLS = {
+    "list", "dict", "set", "bytearray", "deque",
+    "OrderedDict", "defaultdict", "Counter",
+}
+
+_FuncNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _lock_kind(value: ast.expr) -> str | None:
+    """``"thread"`` / ``"async"`` if ``value`` constructs a lock, else None."""
+    if not isinstance(value, ast.Call):
+        return None
+    fn = value.func
+    if isinstance(fn, ast.Attribute):
+        base = fn.value
+        if isinstance(base, ast.Name):
+            if base.id == "threading" and fn.attr in _THREAD_LOCKS:
+                return "thread"
+            if base.id == "asyncio" and fn.attr in ("Lock", "Condition", "Semaphore"):
+                return "async"
+        return None
+    if isinstance(fn, ast.Name) and fn.id in _THREAD_LOCKS:
+        return "thread"
+    return None
+
+
+def _is_mutable_value(value: ast.expr) -> bool:
+    """Does ``value`` construct a mutable container?"""
+    if isinstance(value, (ast.List, ast.Dict, ast.Set,
+                          ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        fn = value.func
+        name = fn.attr if isinstance(fn, ast.Attribute) else getattr(fn, "id", None)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@dataclass
+class LockInfo:
+    """One lock object: where it lives and what kind of code it blocks."""
+
+    qualname: str          # "ClassName._lock" or "module:<rel_path>:NAME"
+    attr: str              # bare attribute / variable name
+    kind: str              # "thread" | "async"
+    rel_path: str
+    line: int
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method plus its call edges and inferred contexts."""
+
+    qualname: str          # "<rel_path>::Class.method" or "<rel_path>::func"
+    name: str
+    rel_path: str
+    node: ast.AST          # FunctionDef | AsyncFunctionDef
+    module: "ModuleContext"
+    class_name: str | None = None
+    is_async: bool = False
+    #: simple callee names: (name, via_self) in source order
+    callees: list[tuple[str, bool]] = field(default_factory=list)
+    #: execution contexts this function can run in (CTX_* labels)
+    contexts: set[str] = field(default_factory=set)
+
+    def in_context(self) -> bool:
+        """Reachable from a thread pool, the event loop, or the engine."""
+        return bool(self.contexts)
+
+    def context_label(self) -> str:
+        """Deterministic human label for messages."""
+        return "/".join(sorted(self.contexts)) or "unclassified"
+
+
+@dataclass
+class ClassInfo:
+    """One class: its locks, methods, and instance attributes."""
+
+    name: str
+    rel_path: str
+    node: ast.ClassDef
+    locks: dict[str, LockInfo] = field(default_factory=dict)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: instance attrs assigned anywhere in the class (attr -> first line)
+    attrs: dict[str, int] = field(default_factory=dict)
+
+
+#: call-attribute names that hand their callable off to a worker thread;
+#: maps the spawning attribute to how the target argument is found
+_SPAWN_SUBMIT = ("submit",)                      # pool.submit(fn, *a)
+_SPAWN_MAP = ("map",)                            # pool.map(fn, it)
+_EXECUTOR_HINTS = ("pool", "executor", "exec")   # receiver-name fragments for .map
+
+
+def _callable_name(node: ast.expr) -> str | None:
+    """The simple name of a callable reference (Name / self.attr / obj.attr)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class ProjectContext:
+    """The whole-project symbol table and call-graph classification."""
+
+    def __init__(self, modules: list["ModuleContext"]):
+        self.modules = list(modules)
+        self.by_path: dict[str, "ModuleContext"] = {
+            m.rel_path: m for m in self.modules
+        }
+        #: qualname -> FunctionInfo, insertion-ordered (module order)
+        self.functions: dict[str, FunctionInfo] = {}
+        #: simple name -> [FunctionInfo], insertion-ordered
+        self.functions_by_name: dict[str, list[FunctionInfo]] = {}
+        #: class name -> [ClassInfo] (same name may exist in two modules)
+        self.classes: dict[str, list[ClassInfo]] = {}
+        #: rel_path -> {name: (line, is_mutable)} module-level bindings
+        self.module_globals: dict[str, dict[str, tuple[int, bool]]] = {}
+        #: lock attr/var name -> [LockInfo] for with-statement resolution
+        self.locks_by_attr: dict[str, list[LockInfo]] = {}
+        self._index()
+        self._classify()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, modules: list["ModuleContext"]) -> "ProjectContext":
+        return cls(modules)
+
+    def _add_lock(self, info: LockInfo) -> None:
+        self.locks_by_attr.setdefault(info.attr, []).append(info)
+
+    def _add_function(self, info: FunctionInfo) -> None:
+        self.functions[info.qualname] = info
+        self.functions_by_name.setdefault(info.name, []).append(info)
+
+    def _index(self) -> None:
+        for mod in self.modules:
+            globals_here: dict[str, tuple[int, bool]] = {}
+            self.module_globals[mod.rel_path] = globals_here
+            for node in mod.tree.body:
+                if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    value = node.value
+                    if value is None:
+                        continue
+                    kind = _lock_kind(value)
+                    for t in targets:
+                        if not isinstance(t, ast.Name):
+                            continue
+                        globals_here[t.id] = (node.lineno, _is_mutable_value(value))
+                        if kind:
+                            self._add_lock(LockInfo(
+                                qualname=f"module:{mod.rel_path}:{t.id}",
+                                attr=t.id, kind=kind,
+                                rel_path=mod.rel_path, line=node.lineno,
+                            ))
+                elif isinstance(node, _FuncNode):
+                    self._index_function(mod, node, class_name=None)
+                elif isinstance(node, ast.ClassDef):
+                    self._index_class(mod, node)
+
+    def _index_class(self, mod: "ModuleContext", node: ast.ClassDef) -> None:
+        cls_info = ClassInfo(name=node.name, rel_path=mod.rel_path, node=node)
+        self.classes.setdefault(node.name, []).append(cls_info)
+        for item in node.body:
+            if isinstance(item, _FuncNode):
+                fn = self._index_function(mod, item, class_name=node.name)
+                cls_info.methods[item.name] = fn
+                # Instance attributes and class-owned locks.
+                for sub in ast.walk(item):
+                    if isinstance(sub, ast.Assign):
+                        for t in sub.targets:
+                            if (
+                                isinstance(t, ast.Attribute)
+                                and isinstance(t.value, ast.Name)
+                                and t.value.id == "self"
+                            ):
+                                cls_info.attrs.setdefault(t.attr, sub.lineno)
+                                kind = _lock_kind(sub.value)
+                                if kind and t.attr not in cls_info.locks:
+                                    info = LockInfo(
+                                        qualname=f"{node.name}.{t.attr}",
+                                        attr=t.attr, kind=kind,
+                                        rel_path=mod.rel_path,
+                                        line=sub.lineno,
+                                    )
+                                    cls_info.locks[t.attr] = info
+                                    self._add_lock(info)
+            elif isinstance(item, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    item.targets if isinstance(item, ast.Assign)
+                    else [item.target]
+                )
+                for t in targets:
+                    if isinstance(t, ast.Name):
+                        cls_info.attrs.setdefault(t.id, item.lineno)
+
+    def _index_function(
+        self, mod: "ModuleContext", node: ast.AST, class_name: str | None
+    ) -> FunctionInfo:
+        prefix = f"{mod.rel_path}::"
+        qual = (
+            f"{prefix}{class_name}.{node.name}" if class_name
+            else f"{prefix}{node.name}"
+        )
+        info = FunctionInfo(
+            qualname=qual,
+            name=node.name,
+            rel_path=mod.rel_path,
+            node=node,
+            module=mod,
+            class_name=class_name,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+        )
+        spawn_targets = self._spawn_targets(node)
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            if sub in spawn_targets:
+                continue
+            fn = sub.func
+            if isinstance(fn, ast.Name):
+                info.callees.append((fn.id, False))
+            elif isinstance(fn, ast.Attribute):
+                via_self = (
+                    isinstance(fn.value, ast.Name) and fn.value.id == "self"
+                )
+                info.callees.append((fn.attr, via_self))
+        self._add_function(info)
+        return info
+
+    # ------------------------------------------------------------------
+    # execution-context classification
+    # ------------------------------------------------------------------
+    def _spawn_targets(self, fn_node: ast.AST) -> dict:
+        """Calls inside ``fn_node`` whose result crosses a thread boundary.
+
+        Returns a mapping whose keys are the spawn Call nodes (so callee
+        collection skips them) — the *names* of the spawned callables
+        are recorded on the side in ``self._pending_thread_roots``.
+        """
+        targets: dict[ast.Call, None] = {}
+        pending = getattr(self, "_pending_thread_roots", None)
+        if pending is None:
+            pending = self._pending_thread_roots = []
+        for sub in ast.walk(fn_node):
+            if not isinstance(sub, ast.Call):
+                continue
+            fn = sub.func
+            attr = fn.attr if isinstance(fn, ast.Attribute) else None
+            name = fn.id if isinstance(fn, ast.Name) else None
+            spawned: ast.expr | None = None
+            if attr in _SPAWN_SUBMIT and sub.args:
+                spawned = sub.args[0]
+            elif attr in _SPAWN_MAP and sub.args:
+                # plain builtins `map(f, xs)` is not a thread boundary;
+                # require an executor-ish receiver name.
+                recv = fn.value
+                recv_name = (
+                    recv.id if isinstance(recv, ast.Name)
+                    else recv.attr if isinstance(recv, ast.Attribute)
+                    else ""
+                )
+                if any(h in recv_name.lower() for h in _EXECUTOR_HINTS):
+                    spawned = sub.args[0]
+            elif attr == "run_in_executor" and len(sub.args) >= 2:
+                spawned = sub.args[1]
+            elif (attr == "Thread" or name == "Thread"):
+                for kw in sub.keywords:
+                    if kw.arg == "target":
+                        spawned = kw.value
+            if spawned is not None:
+                tname = _callable_name(spawned)
+                if tname:
+                    pending.append(tname)
+                    targets[sub] = None
+        return targets
+
+    def _resolve(self, caller: FunctionInfo, name: str, via_self: bool
+                 ) -> list[FunctionInfo]:
+        """Resolve a simple callee name to candidate functions."""
+        if via_self and caller.class_name:
+            for cls in self.classes.get(caller.class_name, []):
+                if cls.rel_path == caller.rel_path and name in cls.methods:
+                    return [cls.methods[name]]
+        return self.functions_by_name.get(name, [])
+
+    def _classify(self) -> None:
+        worklist: list[FunctionInfo] = []
+
+        def mark(fn: FunctionInfo, ctx: str) -> None:
+            if ctx not in fn.contexts:
+                fn.contexts.add(ctx)
+                worklist.append(fn)
+
+        # Roots, in deterministic (indexing) order.
+        thread_roots = list(getattr(self, "_pending_thread_roots", []))
+        for tname in thread_roots:
+            for fn in self.functions_by_name.get(tname, []):
+                mark(fn, CTX_THREADED)
+        for fn in self.functions.values():
+            if fn.is_async:
+                mark(fn, CTX_EVENT_LOOP)
+            config = fn.module.config
+            if (
+                fn.name in config.engine_entry_points
+                and config.is_hot(fn.rel_path)
+            ):
+                mark(fn, CTX_HOT_PATH)
+
+        # Propagate down the call graph to a fixed point.
+        while worklist:
+            fn = worklist.pop(0)
+            ctxs = tuple(sorted(fn.contexts))
+            for name, via_self in fn.callees:
+                for callee in self._resolve(fn, name, via_self):
+                    for ctx in ctxs:
+                        mark(callee, ctx)
+
+    # ------------------------------------------------------------------
+    # lock-guard regions
+    # ------------------------------------------------------------------
+    def resolve_lock(
+        self, expr: ast.expr, owner: FunctionInfo
+    ) -> LockInfo | None:
+        """The lock a ``with`` context expression acquires, if any.
+
+        ``self.X`` resolves through the owning class; a bare name
+        resolves through module-level locks; ``obj.X`` resolves by
+        attribute name when exactly one class owns a lock called ``X``
+        (cross-object acquisition, e.g. ``cache._lock``).
+        """
+        if isinstance(expr, ast.Call):
+            # `with lock.acquire():` style — resolve the receiver.
+            if isinstance(expr.func, ast.Attribute) and expr.func.attr in (
+                "acquire", "acquire_lock"
+            ):
+                expr = expr.func.value
+            else:
+                return None
+        if isinstance(expr, ast.Attribute):
+            attr = expr.attr
+            if (
+                isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and owner.class_name
+            ):
+                for cls in self.classes.get(owner.class_name, []):
+                    if cls.rel_path == owner.rel_path and attr in cls.locks:
+                        return cls.locks[attr]
+            candidates = self.locks_by_attr.get(attr, [])
+            if len(candidates) == 1:
+                return candidates[0]
+            return None
+        if isinstance(expr, ast.Name):
+            for info in self.locks_by_attr.get(expr.id, []):
+                if info.qualname.startswith("module:") and (
+                    info.rel_path == owner.rel_path
+                ):
+                    return info
+        return None
+
+    def walk_held(self, fn: FunctionInfo) -> Iterator[tuple[ast.AST, tuple]]:
+        """Yield ``(node, held)`` for every node in ``fn``'s body.
+
+        ``held`` is the tuple of :class:`LockInfo` acquired around the
+        node via ``with`` statements, outermost first. Nested function
+        definitions keep the enclosing held set (closures like the
+        engine's ``gas_for`` run where they are defined; assuming the
+        guard holds errs toward fewer false positives).
+        """
+
+        def walk(node: ast.AST, held: tuple) -> Iterator[tuple[ast.AST, tuple]]:
+            yield node, held
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                acquired = []
+                for item in node.items:
+                    for sub in ast.walk(item):
+                        yield sub, held
+                    lock = self.resolve_lock(item.context_expr, fn)
+                    if lock is not None:
+                        acquired.append(lock)
+                inner = held + tuple(acquired)
+                for stmt in node.body:
+                    yield from walk(stmt, inner)
+                return
+            for child in ast.iter_child_nodes(node):
+                yield from walk(child, held)
+
+        for stmt in fn.node.body:
+            yield from walk(stmt, ())
+
+    # ------------------------------------------------------------------
+    # shared helpers for rules
+    # ------------------------------------------------------------------
+    def lock_owning_classes(self) -> list[ClassInfo]:
+        """Classes holding at least one thread lock, in index order."""
+        out = []
+        for infos in self.classes.values():
+            for cls in infos:
+                if any(lk.kind == "thread" for lk in cls.locks.values()):
+                    out.append(cls)
+        return out
+
+
+def parent_map(node: ast.AST) -> dict[ast.AST, ast.AST]:
+    """child -> parent for every node under ``node`` (rules' local use)."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for sub in ast.walk(node):
+        for child in ast.iter_child_nodes(sub):
+            parents[child] = sub
+    return parents

@@ -52,12 +52,39 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """A rule that needs the whole-project pass.
+
+    Subclasses implement :meth:`check_project` against a
+    :class:`~repro.analysis.project.ProjectContext`. The engine runs
+    project rules once over all modules; :meth:`check` keeps the
+    single-module entry point working (tests, ``analyze_source``) by
+    building a one-module project on the fly.
+    """
+
+    def check(self, ctx: "ModuleContext") -> list[Finding]:
+        from repro.analysis.project import ProjectContext
+
+        return self.check_project(ProjectContext.build([ctx]))
+
+    def check_project(self, project) -> list[Finding]:
+        raise NotImplementedError
+
+    def _finding_at(
+        self, module: "ModuleContext", node: ast.AST, message: str
+    ) -> Finding:
+        """A finding anchored in ``module`` (project rules span files)."""
+        return self.finding(module, node, message)
+
+
 def all_rules() -> list[Rule]:
     """Instantiate every registered rule (importing the rule modules)."""
     # Imported here, not at module top, to avoid a registry/import cycle;
     # the import itself is what registers the rules.
     from repro.analysis.rules import (  # noqa: API003, F401
+        concurrency,
         costmodel,
+        determinism,
         hygiene,
         lockstep,
         shader_contract,

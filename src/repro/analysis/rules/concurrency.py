@@ -1,0 +1,328 @@
+"""CON — cross-thread mutation discipline for the concurrent hot paths.
+
+The serving tier fans work out over a thread pool while the event loop
+keeps accepting requests; ROADMAP item 1 (sharded multi-worker
+serving) multiplies that shared-state surface. These rules run on the
+whole-project pass (:mod:`repro.analysis.project`): they know which
+functions execute on worker threads, which locks exist, and which
+``with`` blocks guard what.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import CTX_THREADED, ProjectContext
+from repro.analysis.rules import ProjectRule, register
+
+#: method names that mutate their receiver in place
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "clear", "update",
+    "add", "discard", "popitem", "setdefault", "move_to_end",
+    "appendleft", "popleft", "sort", "reverse",
+}
+
+#: constructor-time methods: single-threaded by definition
+_CTOR_METHODS = ("__init__", "__post_init__", "__new__")
+
+
+def _self_attr_target(node: ast.expr) -> str | None:
+    """``self.X`` / ``self.X[...]`` store target -> ``X``; else None."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _held_thread_locks(held: tuple) -> list:
+    return [lk for lk in held if lk.kind == "thread"]
+
+
+@register
+class UnguardedSharedWriteRule(ProjectRule):
+    """Shared mutable state written on a worker-thread path, unguarded.
+
+    Rationale: a class that owns a lock has declared its state shared;
+    every mutation reachable from a thread pool must then hold that
+    lock, or two workers interleave half-applied updates (the classic
+    lost-update race the sharded serving tier cannot afford).
+    Module-level mutable containers mutated from a threaded context are
+    the same bug without the class. Lockless classes reached from
+    threads are assumed externally serialized (the engine behind the
+    single service worker); adding a lock to a class opts it into this
+    rule — which is exactly the discipline new shared structures must
+    follow.
+
+    Bad::
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._entries = {}
+
+            def insert(self, key, gas):      # reached via pool.submit
+                self._entries[key] = gas     # CON001: lock not held
+
+    Good::
+
+        def insert(self, key, gas):
+            with self._lock:
+                self._entries[key] = gas
+    """
+
+    rule_id = "CON001"
+    summary = "unguarded write to shared state on a worker-thread path"
+
+    def check_project(self, project: ProjectContext) -> list[Finding]:
+        out: list[Finding] = []
+        for cls in project.lock_owning_classes():
+            lock_names = set(cls.locks)
+            for mname, fn in cls.methods.items():
+                if mname in _CTOR_METHODS or CTX_THREADED not in fn.contexts:
+                    continue
+                for node, held in project.walk_held(fn):
+                    attr = self._written_attr(node)
+                    if attr is None or attr in lock_names:
+                        continue
+                    if not _held_thread_locks(held):
+                        out.append(self._finding_at(
+                            fn.module, node,
+                            f"self.{attr} is written in {cls.name}.{mname} "
+                            f"on a {fn.context_label()} path without "
+                            f"holding {cls.name}.{sorted(lock_names)[0]}; "
+                            "wrap the mutation in the lock guard",
+                        ))
+        out.extend(self._global_mutations(project))
+        return out
+
+    @staticmethod
+    def _written_attr(node: ast.AST) -> str | None:
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                attr = _self_attr_target(t)
+                if attr:
+                    return attr
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            return _self_attr_target(node.target)
+        elif isinstance(node, ast.Delete):
+            for t in node.targets:
+                attr = _self_attr_target(t)
+                if attr:
+                    return attr
+        elif isinstance(node, ast.Call):
+            fn = node.func
+            if isinstance(fn, ast.Attribute) and fn.attr in _MUTATING_METHODS:
+                return _self_attr_target(fn.value)
+        return None
+
+    def _global_mutations(self, project: ProjectContext) -> list[Finding]:
+        out: list[Finding] = []
+        for fn in project.functions.values():
+            if CTX_THREADED not in fn.contexts:
+                continue
+            mutables = {
+                name
+                for name, (_, is_mutable)
+                in project.module_globals.get(fn.rel_path, {}).items()
+                if is_mutable
+            }
+            if not mutables:
+                continue
+            for node, held in project.walk_held(fn):
+                name = self._global_write(node, mutables)
+                if name and not _held_thread_locks(held):
+                    out.append(self._finding_at(
+                        fn.module, node,
+                        f"module-level mutable {name!r} is mutated in "
+                        f"{fn.name} on a {fn.context_label()} path "
+                        "without a lock; guard it or make it per-worker",
+                    ))
+        return out
+
+    @staticmethod
+    def _global_write(node: ast.AST, names: set[str]) -> str | None:
+        target: ast.expr | None = None
+        if isinstance(node, ast.Call):
+            fn = node.func
+            if isinstance(fn, ast.Attribute) and fn.attr in _MUTATING_METHODS:
+                target = fn.value
+        elif isinstance(node, (ast.AugAssign,)):
+            target = node.target
+        elif isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, ast.Subscript):
+                    target = t.value
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Name) and target.id in names:
+            return target.id
+        return None
+
+
+@register
+class AwaitUnderLockRule(ProjectRule):
+    """``await`` while holding a *threading* lock.
+
+    Rationale: a threading lock held across an ``await`` pins the lock
+    for the whole suspension — every worker thread that wants it blocks
+    on the event loop's scheduling whims, and a re-entrant path on the
+    same loop deadlocks outright. Release before suspending, or use an
+    ``asyncio.Lock`` with ``async with``.
+
+    Bad::
+
+        async def push(self, item):
+            with self._lock:
+                await self._notify()     # CON002: lock held across await
+
+    Good::
+
+        async def push(self, item):
+            with self._lock:
+                self._queue.append(item)
+            await self._notify()
+    """
+
+    rule_id = "CON002"
+    summary = "await while holding a threading lock"
+
+    def check_project(self, project: ProjectContext) -> list[Finding]:
+        out: list[Finding] = []
+        for fn in project.functions.values():
+            for node, held in project.walk_held(fn):
+                if isinstance(node, ast.Await):
+                    locks = _held_thread_locks(held)
+                    if locks:
+                        out.append(self._finding_at(
+                            fn.module, node,
+                            f"await in {fn.name} while holding "
+                            f"{locks[0].qualname}: the lock stays taken "
+                            "across the suspension; release it first or "
+                            "use asyncio.Lock with `async with`",
+                        ))
+        return out
+
+
+@register
+class LockOrderRule(ProjectRule):
+    """Locks acquired in inconsistent order across the project.
+
+    Rationale: if one code path takes lock A then lock B while another
+    takes B then A, two threads running those paths can each hold one
+    lock and wait forever on the other. A single global acquisition
+    order (document it, sort by name) makes that deadlock impossible.
+
+    Bad::
+
+        def flush(self):
+            with self._lock_a:
+                with self._lock_b: ...
+
+        def rekey(self):
+            with self._lock_b:
+                with self._lock_a: ...   # CON003: reverse order
+
+    Good::
+
+        def rekey(self):
+            with self._lock_a:
+                with self._lock_b: ...   # same order everywhere
+    """
+
+    rule_id = "CON003"
+    summary = "inconsistent lock acquisition order (deadlock risk)"
+
+    def check_project(self, project: ProjectContext) -> list[Finding]:
+        # (outer, inner) -> [(fn, node)] acquisition sites, index order.
+        pairs: dict[tuple[str, str], list] = {}
+        for fn in project.functions.values():
+            for node, held in project.walk_held(fn):
+                if not isinstance(node, (ast.With, ast.AsyncWith)):
+                    continue
+                for item in node.items:
+                    lock = project.resolve_lock(item.context_expr, fn)
+                    if lock is None:
+                        continue
+                    for outer in held:
+                        if outer.qualname != lock.qualname:
+                            pairs.setdefault(
+                                (outer.qualname, lock.qualname), []
+                            ).append((fn, node))
+        out: list[Finding] = []
+        for (a, b), sites in sorted(pairs.items()):
+            reverse = pairs.get((b, a))
+            if not reverse:
+                continue
+            other_fn, _ = reverse[0]
+            for fn, node in sites:
+                out.append(self._finding_at(
+                    fn.module, node,
+                    f"{b} acquired while holding {a} in {fn.name}, but "
+                    f"{other_fn.name} ({other_fn.rel_path}) acquires "
+                    "them in the reverse order; pick one global order",
+                ))
+        return out
+
+
+@register
+class GlobalReboundRule(ProjectRule):
+    """Module-level state rebound after import time.
+
+    Rationale: a module-level name rebound at runtime (``global X``)
+    is an unsynchronized broadcast: threads mid-read see either value,
+    and two racing writers silently drop one update. Runtime
+    reconfiguration belongs in an explicit object handed to the code
+    that needs it, not in interpreter-wide module state.
+
+    Bad::
+
+        _CONFIG = {"shards": 1}
+
+        def reload(path):
+            global _CONFIG
+            _CONFIG = json.load(open(path))   # CON004
+
+    Good::
+
+        def load_config(path) -> dict:
+            return json.load(open(path))      # caller owns the object
+    """
+
+    rule_id = "CON004"
+    summary = "module-level state rebound after import time"
+
+    def check_project(self, project: ProjectContext) -> list[Finding]:
+        out: list[Finding] = []
+        for fn in project.functions.values():
+            declared: set[str] = set()
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Global):
+                    declared.update(node.names)
+            if not declared:
+                continue
+            module_names = project.module_globals.get(fn.rel_path, {})
+            for node in ast.walk(fn.node):
+                targets: list[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                for t in targets:
+                    if (
+                        isinstance(t, ast.Name)
+                        and t.id in declared
+                        and t.id in module_names
+                    ):
+                        out.append(self._finding_at(
+                            fn.module, node,
+                            f"{t.id!r} is rebound at runtime via `global` "
+                            f"in {fn.name}; import-time module state must "
+                            "stay frozen — pass an explicit object instead",
+                        ))
+        return out

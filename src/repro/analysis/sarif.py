@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 output so findings render as code-scanning annotations.
+
+Only the subset GitHub consumes is emitted: one run, one driver, a
+rule catalog with short descriptions, and one result per finding with
+a physical location. Output is deterministic: rules and results are
+already sorted by the engine, and no timestamps or absolute paths are
+embedded.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import Rule
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVEL = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def to_sarif(findings: list[Finding], rules: list[Rule]) -> dict:
+    """Build the SARIF log object (JSON-serializable dict)."""
+    used = {f.rule_id for f in findings}
+    catalog = sorted(
+        (r for r in rules if r.rule_id in used or not used),
+        key=lambda r: r.rule_id,
+    )
+    rule_index = {r.rule_id: i for i, r in enumerate(catalog)}
+    return {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/"
+                            "static_analysis.md"
+                        ),
+                        "rules": [
+                            {
+                                "id": r.rule_id,
+                                "shortDescription": {"text": r.summary},
+                                "defaultConfiguration": {
+                                    "level": _LEVEL[r.severity],
+                                },
+                            }
+                            for r in catalog
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": f.rule_id,
+                        **(
+                            {"ruleIndex": rule_index[f.rule_id]}
+                            if f.rule_id in rule_index
+                            else {}
+                        ),
+                        "level": _LEVEL[f.severity],
+                        "message": {"text": f.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": f.path,
+                                        "uriBaseId": "SRCROOT",
+                                    },
+                                    "region": {
+                                        "startLine": f.line,
+                                        "startColumn": f.col + 1,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for f in findings
+                ],
+            }
+        ],
+    }
+
+
+def render_sarif(findings: list[Finding], rules: list[Rule]) -> str:
+    return json.dumps(to_sarif(findings, rules), indent=2)

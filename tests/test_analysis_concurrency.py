@@ -1,0 +1,505 @@
+"""CON/DET rule families: each rule fires on a broken fixture and
+stays silent on the corrected one, plus the project-wide pass itself
+(cross-module call graph, execution contexts, injected-bug e2e)."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis import AnalysisConfig, analyze_paths, analyze_source
+from repro.analysis.engine import ModuleContext
+from repro.analysis.project import (
+    CTX_EVENT_LOOP,
+    CTX_HOT_PATH,
+    CTX_THREADED,
+    ProjectContext,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: hot-path fixture module: engine entry-point names classify here
+HOT = "repro/core/fixture.py"
+SERVE = "repro/serve/fixture.py"
+
+
+def ids(findings):
+    return [f.rule_id for f in findings]
+
+
+def run(source, rel_path=HOT, **cfg):
+    return analyze_source(
+        textwrap.dedent(source), rel_path, AnalysisConfig(**cfg)
+    )
+
+
+# ----------------------------------------------------------------------
+# CON001 — unguarded shared write from a threaded context
+# ----------------------------------------------------------------------
+LOCKED_CLASS = """
+    import threading
+
+    class Cache:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._entries = {{}}
+
+        def insert(self, key, value):
+            {body}
+
+    def fan_out(pool, cache):
+        return pool.submit(cache.insert, "k", 1).result()
+"""
+
+
+def test_con001_fires_on_unguarded_write():
+    findings = run(
+        LOCKED_CLASS.format(body="self._entries[key] = value"),
+        select=("CON",),
+    )
+    assert ids(findings) == ["CON001"]
+    assert "Cache.insert" in findings[0].message
+    assert "_lock" in findings[0].message
+
+
+def test_con001_silent_when_lock_held():
+    findings = run(
+        LOCKED_CLASS.format(
+            body="with self._lock:\n                self._entries[key] = value"
+        ),
+        select=("CON",),
+    )
+    assert findings == []
+
+
+def test_con001_silent_without_threaded_context():
+    # Same unguarded write, but nothing submits the method to a pool.
+    src = """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._entries = {}
+
+            def insert(self, key, value):
+                self._entries[key] = value
+    """
+    assert run(src, select=("CON",)) == []
+
+
+def test_con001_fires_on_module_global_mutation():
+    src = """
+        _RESULTS = []
+
+        def job(x):
+            _RESULTS.append(x)
+
+        def fan_out(pool):
+            return pool.submit(job, 1).result()
+    """
+    findings = run(src, select=("CON",))
+    assert ids(findings) == ["CON001"]
+    assert "_RESULTS" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# CON002 — await while holding a threading lock
+# ----------------------------------------------------------------------
+def test_con002_fires_on_await_under_thread_lock():
+    src = """
+        import threading
+
+        _LOCK = threading.Lock()
+
+        async def push(q):
+            with _LOCK:
+                await q.put(1)
+    """
+    findings = run(src, rel_path=SERVE, select=("CON",))
+    assert ids(findings) == ["CON002"]
+
+
+def test_con002_silent_when_released_before_await():
+    src = """
+        import threading
+
+        _LOCK = threading.Lock()
+
+        async def push(q, items):
+            with _LOCK:
+                items.append(1)
+            await q.put(1)
+    """
+    assert run(src, rel_path=SERVE, select=("CON",)) == []
+
+
+def test_con002_silent_for_asyncio_lock():
+    src = """
+        import asyncio
+
+        _LOCK = asyncio.Lock()
+
+        async def push(q):
+            async with _LOCK:
+                await q.put(1)
+    """
+    assert run(src, rel_path=SERVE, select=("CON",)) == []
+
+
+# ----------------------------------------------------------------------
+# CON003 — inconsistent lock acquisition order
+# ----------------------------------------------------------------------
+ORDERED = """
+    import threading
+
+    _A = threading.Lock()
+    _B = threading.Lock()
+
+    def flush():
+        with _A:
+            with _B:
+                pass
+
+    def rekey():
+        with {first}:
+            with {second}:
+                pass
+"""
+
+
+def test_con003_fires_on_reversed_order():
+    findings = run(
+        ORDERED.format(first="_B", second="_A"), select=("CON",)
+    )
+    assert ids(findings) == ["CON003", "CON003"]
+    assert "reverse order" in findings[0].message
+
+
+def test_con003_silent_on_consistent_order():
+    assert run(ORDERED.format(first="_A", second="_B"), select=("CON",)) == []
+
+
+# ----------------------------------------------------------------------
+# CON004 — module-level state rebound after import
+# ----------------------------------------------------------------------
+def test_con004_fires_on_global_rebind():
+    src = """
+        _CONFIG = {"shards": 1}
+
+        def reload_config(d):
+            global _CONFIG
+            _CONFIG = d
+    """
+    findings = run(src, select=("CON",))
+    assert ids(findings) == ["CON004"]
+    assert "_CONFIG" in findings[0].message
+
+
+def test_con004_silent_without_global_statement():
+    src = """
+        _CONFIG = {"shards": 1}
+
+        def load_config(d):
+            config = dict(_CONFIG)
+            config.update(d)
+            return config
+    """
+    assert run(src, select=("CON",)) == []
+
+
+# ----------------------------------------------------------------------
+# DET001 — unseeded RNG on a classified path
+# ----------------------------------------------------------------------
+def test_det001_fires_on_unseeded_default_rng():
+    src = """
+        import numpy as np
+
+        def knn_search(queries):
+            rng = np.random.default_rng()
+            return rng.random(queries.shape[0])
+    """
+    findings = run(src, select=("DET",))
+    assert ids(findings) == ["DET001"]
+    assert findings[0].line == 5
+
+
+def test_det001_fires_on_legacy_global_rng():
+    src = """
+        import numpy as np
+
+        def knn_search(queries):
+            return np.random.random(queries.shape[0])
+    """
+    assert ids(run(src, select=("DET",))) == ["DET001"]
+
+
+def test_det001_silent_when_seeded():
+    src = """
+        import numpy as np
+
+        def knn_search(queries, seed=0):
+            rng = np.random.default_rng(seed)
+            return rng.random(queries.shape[0])
+    """
+    assert run(src, select=("DET",)) == []
+
+
+def test_det001_silent_off_the_classified_paths():
+    # Unclassified helper: nothing reaches it from an engine/serve root.
+    src = """
+        import numpy as np
+
+        def scratch_helper(n):
+            return np.random.default_rng().random(n)
+    """
+    assert run(src, select=("DET",)) == []
+
+
+# ----------------------------------------------------------------------
+# DET002 — wall-clock flowing into values
+# ----------------------------------------------------------------------
+def test_det002_fires_on_clock_into_result():
+    src = """
+        import time
+
+        def knn_search(queries):
+            return {"count": time.time()}
+    """
+    findings = run(src, select=("DET",))
+    assert ids(findings) == ["DET002"]
+    assert "return value" in findings[0].message
+
+
+def test_det002_silent_for_span_timing():
+    src = """
+        import time
+
+        def knn_search(queries, out):
+            t0 = time.perf_counter()
+            out.run(queries)
+            elapsed_s = time.perf_counter() - t0
+            return elapsed_s
+    """
+    assert run(src, select=("DET",)) == []
+
+
+# ----------------------------------------------------------------------
+# DET003 — unordered iteration reaching output
+# ----------------------------------------------------------------------
+def test_det003_fires_on_set_iteration_into_output():
+    src = """
+        def range_search(cells):
+            out = []
+            for c in set(cells):
+                out.append(c)
+            return out
+    """
+    findings = run(src, select=("DET",))
+    assert ids(findings) == ["DET003"]
+
+
+def test_det003_silent_when_sorted():
+    src = """
+        def range_search(cells):
+            out = []
+            for c in sorted(set(cells)):
+                out.append(c)
+            return out
+    """
+    assert run(src, select=("DET",)) == []
+
+
+# ----------------------------------------------------------------------
+# DET004 — as_completed without index re-merge
+# ----------------------------------------------------------------------
+def test_det004_fires_on_completion_order_append():
+    src = """
+        from concurrent.futures import as_completed
+
+        def merge(futures):
+            out = []
+            for fut in as_completed(futures):
+                out.append(fut.result())
+            return out
+    """
+    findings = run(src, select=("DET",))
+    assert ids(findings) == ["DET004"]
+
+
+def test_det004_silent_with_index_remerge():
+    src = """
+        from concurrent.futures import as_completed
+
+        def merge(futures, index):
+            out = [None] * len(futures)
+            for fut in as_completed(futures):
+                out[index[fut]] = fut.result()
+            return out
+    """
+    assert run(src, select=("DET",)) == []
+
+
+# ----------------------------------------------------------------------
+# project pass: contexts, cross-module graph, e2e injection
+# ----------------------------------------------------------------------
+def _project(sources: dict[str, str]) -> ProjectContext:
+    config = AnalysisConfig()
+    return ProjectContext.build(
+        [
+            ModuleContext.from_source(textwrap.dedent(src), rel, config)
+            for rel, src in sorted(sources.items())
+        ]
+    )
+
+
+def test_contexts_classify_threaded_event_loop_and_hot():
+    proj = _project(
+        {
+            "repro/core/engine_fixture.py": """
+                def knn_search(queries):
+                    return _narrow(queries)
+
+                def _narrow(queries):
+                    return queries
+            """,
+            "repro/serve/loop_fixture.py": """
+                async def handle(req):
+                    return _shape(req)
+
+                def _shape(req):
+                    return req
+
+                def fan_out(pool, payload):
+                    return pool.submit(_job, payload)
+
+                def _job(payload):
+                    return payload
+            """,
+        }
+    )
+    by_name = {fn.qualname: fn for fn in proj.functions.values()}
+    hot = by_name["repro/core/engine_fixture.py::_narrow"]
+    assert CTX_HOT_PATH in hot.contexts
+    looped = by_name["repro/serve/loop_fixture.py::_shape"]
+    assert CTX_EVENT_LOOP in looped.contexts
+    threaded = by_name["repro/serve/loop_fixture.py::_job"]
+    assert CTX_THREADED in threaded.contexts
+    assert threaded.in_context()
+
+
+def test_threaded_context_propagates_across_modules():
+    # The submit() is in one module, the mutation two hops away in
+    # another: only the whole-project pass can connect them.
+    proj = _project(
+        {
+            "repro/core/store_fixture.py": """
+                import threading
+
+                class Store:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._rows = []
+
+                    def add(self, row):
+                        self._rows.append(row)
+            """,
+            "repro/serve/driver_fixture.py": """
+                def submit_all(pool, store, rows):
+                    return [pool.submit(store.add, r) for r in rows]
+            """,
+        }
+    )
+    by_name = {fn.qualname: fn for fn in proj.functions.values()}
+    add = by_name["repro/core/store_fixture.py::Store.add"]
+    assert CTX_THREADED in add.contexts
+    assert [c.name for c in proj.lock_owning_classes()] == ["Store"]
+
+
+def test_e2e_injected_bugs_caught_with_file_and_line(tmp_path):
+    """Acceptance: a deliberately injected unlocked write and an
+    unseeded RNG are both caught, each at the right file and line."""
+    core = tmp_path / "repro" / "core"
+    core.mkdir(parents=True)
+    cache_py = core / "cache_fixture.py"
+    cache_py.write_text(
+        "import threading\n"
+        "\n"
+        "\n"
+        "class ShardCache:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._entries = {}\n"
+        "\n"
+        "    def insert(self, key, value):\n"
+        "        self._entries[key] = value\n"          # line 10
+    )
+    engine_py = core / "engine_fixture.py"
+    engine_py.write_text(
+        "import numpy as np\n"
+        "\n"
+        "\n"
+        "def knn_search(queries, pool, cache):\n"
+        "    pool.submit(cache.insert, 0, queries)\n"
+        "    rng = np.random.default_rng()\n"           # line 6
+        "    return rng.random(queries.shape[0])\n"
+    )
+    config = AnalysisConfig(select=("CON", "DET"))
+    findings, n_modules = analyze_paths([core], config, root=tmp_path)
+    assert n_modules == 2
+    got = {(f.rule_id, f.path, f.line) for f in findings}
+    assert ("CON001", "repro/core/cache_fixture.py", 10) in got
+    assert ("DET001", "repro/core/engine_fixture.py", 6) in got
+
+
+# ----------------------------------------------------------------------
+# select / ignore interaction with the new families
+# ----------------------------------------------------------------------
+MIXED = """
+    import numpy as np
+
+    _CONFIG = {"n": 1}
+
+    def knn_search(queries):
+        global _CONFIG
+        _CONFIG = {"n": 2}
+        return np.random.default_rng().random(3)
+"""
+
+
+def test_select_prefix_scopes_to_one_family():
+    assert ids(run(MIXED, select=("CON",))) == ["CON004"]
+    assert ids(run(MIXED, select=("DET",))) == ["DET001"]
+
+
+def test_ignore_prefix_beats_select():
+    assert run(MIXED, select=("CON",), ignore=("CON00",)) == []
+
+
+def test_exact_rule_id_select():
+    assert ids(run(MIXED, select=("DET001",))) == ["DET001"]
+
+
+# ----------------------------------------------------------------------
+# analyzer self-determinism: byte-identical output across hash seeds
+# ----------------------------------------------------------------------
+def test_analyzer_output_is_byte_identical_across_hash_seeds():
+    def run_once(hashseed):
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.analysis",
+                "src/repro/core", "src/repro/serve",
+                "--format", "json", "--root", str(REPO),
+            ],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            env={"PYTHONHASHSEED": hashseed, "PYTHONPATH": "src", "PATH": ""},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        return proc.stdout
+
+    first, second = run_once("0"), run_once("424242")
+    assert first == second
+    json.loads(first)  # and it is valid JSON

@@ -1,0 +1,140 @@
+"""Suppression machinery edge cases: multi-line noqa spans, stale
+baseline entries, and the justification-preserving baseline writer."""
+
+import json
+
+from repro.analysis import AnalysisConfig, analyze_source
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    load_justifications,
+    write_baseline,
+)
+from repro.analysis.cli import main as analysis_main
+from repro.analysis.findings import Finding, Severity
+
+HOT = "repro/core/fixture.py"
+
+
+def run(source, **cfg):
+    return analyze_source(source, HOT, AnalysisConfig(**cfg))
+
+
+# A VEC002 np.append call inside a statement spanning four lines; the
+# finding anchors on line 4 (the call), the statement covers 4-7.
+MULTILINE = """\
+import numpy as np
+
+def g(a, b):
+    out = np.append({first}
+        a,
+        b,
+    ){last}
+    return out
+"""
+
+
+def test_noqa_on_multiline_statement_first_line():
+    src = MULTILINE.format(first="  # noqa: VEC002", last="")
+    assert run(src, select=("VEC",)) == []
+
+
+def test_noqa_on_multiline_statement_last_line():
+    src = MULTILINE.format(first="", last="  # noqa: VEC002")
+    assert run(src, select=("VEC",)) == []
+
+
+def test_unmarked_multiline_statement_still_fires():
+    src = MULTILINE.format(first="", last="")
+    findings = run(src, select=("VEC",))
+    assert [f.rule_id for f in findings] == ["VEC002"]
+    assert findings[0].line == 4
+
+
+def test_noqa_on_def_line_does_not_cover_the_body():
+    # Compound statements span their whole body; a trailing comment on
+    # the def must not silence findings inside it.
+    src = (
+        "import numpy as np\n"
+        "\n"
+        "def g(a, b):  # noqa: VEC002\n"
+        "    return np.append(a, b)\n"
+    )
+    findings = run(src, select=("VEC",))
+    assert [f.rule_id for f in findings] == ["VEC002"]
+
+
+def test_noqa_with_wrong_rule_id_does_not_suppress():
+    src = MULTILINE.format(first="", last="  # noqa: DET001")
+    assert [f.rule_id for f in run(src, select=("VEC",))] == ["VEC002"]
+
+
+def test_bare_noqa_suppresses_all_rules():
+    src = MULTILINE.format(first="", last="  # noqa")
+    assert run(src, select=("VEC",)) == []
+
+
+# ----------------------------------------------------------------------
+# stale baseline entries
+# ----------------------------------------------------------------------
+def _finding(msg="msg", path="repro/core/x.py"):
+    return Finding("VEC002", Severity.ERROR, path, 3, 0, msg)
+
+
+def test_apply_baseline_reports_stale_entries():
+    live = [_finding("still here")]
+    accepted = {
+        ("VEC002", "repro/core/x.py", "still here"),
+        ("VEC002", "repro/core/gone.py", "paid off"),
+    }
+    fresh, n_baselined, stale = apply_baseline(live, accepted)
+    assert fresh == []
+    assert n_baselined == 1
+    assert stale == [("VEC002", "repro/core/gone.py", "paid off")]
+
+
+def test_cli_warns_on_stale_baseline_entry(tmp_path, capsys):
+    bad = tmp_path / "repro" / "core" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "import numpy as np\n\ndef g(a, b):\n    return np.append(a, b)\n"
+    )
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({
+        "version": 1,
+        "findings": [
+            {"rule": "CON001", "path": "repro/core/deleted.py",
+             "message": "long gone", "why": "was deliberate"},
+        ],
+    }))
+    rc = analysis_main(
+        [str(bad), "--root", str(tmp_path), "--baseline", str(baseline),
+         "--format", "json"]
+    )
+    captured = capsys.readouterr()
+    assert rc == 1  # the VEC002 finding is not baselined
+    assert "stale baseline entry CON001" in captured.err
+    payload = json.loads(captured.out)
+    assert payload["stale_baseline"] == [
+        {"rule": "CON001", "path": "repro/core/deleted.py",
+         "message": "long gone"},
+    ]
+
+
+def test_write_baseline_preserves_justifications(tmp_path):
+    path = tmp_path / "baseline.json"
+    f_kept, f_new = _finding("kept"), _finding("new")
+    write_baseline(path, [f_kept])
+    # Annotate the entry by hand, as a reviewer would.
+    data = json.loads(path.read_text())
+    data["findings"][0]["why"] = "deliberate: benign lookup race"
+    path.write_text(json.dumps(data))
+
+    write_baseline(path, [f_kept, f_new])
+    assert load_justifications(path) == {
+        ("VEC002", "repro/core/x.py", "kept"): "deliberate: benign lookup race",
+    }
+    assert load_baseline(path) == {
+        ("VEC002", "repro/core/x.py", "kept"),
+        ("VEC002", "repro/core/x.py", "new"),
+    }

@@ -28,6 +28,14 @@ def test_live_tree_has_zero_findings():
     fresh = [f for f in findings if f.fingerprint not in accepted]
     assert n_modules > 80
     assert fresh == [], "\n" + "\n".join(f.render() for f in fresh)
+    # The CON/DET project families must actually have run: they are
+    # registered, enabled by the shipped config, and the concurrent
+    # surfaces they exist for are in the analyzed tree.
+    rule_ids = {r.rule_id for r in all_rules()}
+    for rid in ("CON001", "CON002", "CON003", "CON004",
+                "DET001", "DET002", "DET003", "DET004"):
+        assert rid in rule_ids
+        assert config.rule_enabled(rid)
 
 
 def test_gas_cache_module_is_exempt_and_clean():
@@ -87,9 +95,50 @@ def test_cli_list_rules_covers_all_families(capsys):
     rc = analysis_main(["--list-rules"])
     out = capsys.readouterr().out
     assert rc == 0
-    for family in ("SHD", "VEC", "COST", "API"):
+    for family in ("SHD", "VEC", "COST", "API", "CON", "DET"):
         assert family in out
-    assert len(all_rules()) >= 12
+    assert len(all_rules()) >= 20
+
+
+def test_cli_explain_prints_rationale_and_examples(capsys):
+    for rule_id in ("CON001", "DET002"):
+        rc = analysis_main(["--explain", rule_id])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert rule_id in out
+        for section in ("Rationale:", "Bad:", "Good:"):
+            assert section in out
+
+
+def test_cli_explain_unknown_rule_is_usage_error(capsys):
+    rc = analysis_main(["--explain", "NOPE999"])
+    assert rc == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_cli_sarif_format(tmp_path, capsys):
+    bad = tmp_path / "repro" / "core" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "import numpy as np\n\ndef knn_search(q):\n"
+        "    return np.random.default_rng().random(3)\n"
+    )
+    rc = analysis_main(
+        [str(bad), "--root", str(tmp_path), "--format", "sarif",
+         "--select", "DET"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["version"] == "2.1.0"
+    (sarif_run,) = payload["runs"]
+    (result,) = sarif_run["results"]
+    assert result["ruleId"] == "DET001"
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"].endswith("repro/core/bad.py")
+    assert loc["region"]["startLine"] == 4
+    driver_ids = [r["id"] for r in sarif_run["tool"]["driver"]["rules"]]
+    assert "DET001" in driver_ids
+    assert driver_ids == sorted(driver_ids)
 
 
 def test_baseline_round_trip(tmp_path, capsys):
