@@ -1,10 +1,11 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-concurrency analyze baseline bench bench-smoke serve-smoke profile trace-demo ci
+.PHONY: test lint lint-concurrency analyze baseline bench bench-smoke serve-smoke serve-shard-smoke profile trace-demo ci
 
+# Extra pytest arguments ride in PYTEST_FLAGS (CI passes --junitxml=...).
 test:
-	$(PYTHON) -m pytest -x -q
+	$(PYTHON) -m pytest -x -q $(PYTEST_FLAGS)
 
 # Generic lint (ruff, skipped with a notice if not installed) + the
 # execution-model static analysis. Fails on any non-baselined finding.
@@ -44,6 +45,16 @@ serve-smoke:
 	  --mode knn -k 4 --rps 300 --clients 4 --duration 2 \
 	  --window-ms 10 --seed 0 --check
 
+# Sharded-topology scale gate: the same seeded load through 1-shard and
+# 4-shard topologies; fails on any errored/expired request, on any
+# non-bit-identical cell of the knn/range x full/noopt identity matrix
+# (1-shard vs 4-shard vs the raw single engine), or on modeled-clock
+# throughput scaling below 2.5x at 4 shards.
+serve-shard-smoke:
+	$(PYTHON) -m repro.cli serve --dataset Bunny-360K --scale 0.1 \
+	  --mode knn -k 8 --radius 0.05 --rps 150 --clients 4 --duration 1 \
+	  --window-ms 5 --seed 0 --shards 4 --shard-smoke --min-scaling 2.5
+
 # cProfile the fully-optimized large scenario (override with
 # PROFILE_SCENARIO=<name> to pick another suite entry).
 profile:
@@ -53,5 +64,7 @@ profile:
 trace-demo:
 	$(PYTHON) -m repro.cli trace --dataset KITTI-1M --scale 0.002
 
-# Everything CI gates on.
-ci: test analyze lint-concurrency bench-smoke serve-smoke
+# Everything CI gates on, in the same order as .github/workflows/ci.yml
+# runs its jobs; tests/test_ci_consistency.py cross-checks the two so
+# they cannot drift.
+ci: test analyze lint-concurrency bench-smoke serve-smoke serve-shard-smoke

@@ -69,7 +69,16 @@ class SearchSession:
         session.engine = self.engine.with_config(**changes)
         return session
 
-    def serve(self, config=None, faults=None, tracer=None):
+    def serve(
+        self,
+        config=None,
+        faults=None,
+        tracer=None,
+        shards: int | None = None,
+        workers: int | None = None,
+        replication: int = 2,
+        shard_faults=None,
+    ):
         """A micro-batching async service over this session's engine.
 
         Returns an *unstarted* :class:`~repro.serve.service.SearchService`;
@@ -82,11 +91,33 @@ class SearchSession:
         launches that share this session's GAS cache; per-request
         results stay bit-identical to direct :meth:`knn_search` /
         :meth:`range_search` calls. See ``docs/serving.md``.
+
+        With ``shards``, the front door instead holds a
+        :class:`~repro.serve.shard.ShardedEngine` over this session's
+        points and config: ``workers`` engine workers (default one per
+        shard) serve spatial shards placed by consistent hashing with
+        ``replication``-way failover; results remain bit-identical to
+        the single-engine path (canonical row order). ``shard_faults``
+        is a separate :class:`~repro.serve.faults.FaultInjector`
+        consulted per shard routing attempt.
         """
         from repro.serve.service import SearchService
 
+        held = self.engine
+        if shards is not None:
+            from repro.serve.shard import ShardedEngine
+
+            held = ShardedEngine(
+                self.engine.points,
+                n_shards=shards,
+                n_workers=workers,
+                replication=replication,
+                device=self.engine.device,
+                config=self.engine.config,
+                faults=shard_faults,
+            )
         return SearchService(
-            self.engine, config=config, faults=faults, tracer=tracer
+            held, config=config, faults=faults, tracer=tracer
         )
 
     # ------------------------------------------------------------------

@@ -4,6 +4,7 @@ Subcommands::
 
     repro search      --dataset KITTI-12M --mode knn -k 8        # or --points file.ply
     repro serve       --dataset uniform-1M --rps 200 --duration 2  # micro-batching service
+    repro serve       --dataset uniform-1M --shards 4 --shard-smoke  # sharded scale gate
     repro trace       --dataset uniform-1M --scale 0.01          # span tree + counters
     repro datasets    [--generate NAME --out cloud.ply]
     repro experiments [--only fig11] [--scale 0.25]
@@ -170,6 +171,23 @@ def _add_serve(sub):
     p.add_argument("--deadline-ms", type=float, default=None,
                    help="per-request deadline in milliseconds (default: none)")
     p.add_argument("--seed", type=int, default=0, help="load-generator seed")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="serve from a sharded topology: N spatial shards on "
+                        "N engine workers behind the same front door "
+                        "(default: single engine)")
+    p.add_argument("--workers", type=int, default=None, metavar="W",
+                   help="engine workers for --shards (default: one per shard)")
+    p.add_argument("--replication", type=int, default=2,
+                   help="workers eligible per shard, primary + failover "
+                        "replicas (default 2)")
+    p.add_argument("--shard-smoke", action="store_true",
+                   help="gate mode: run the load against 1-shard and "
+                        "--shards topologies, assert zero errors, "
+                        "bit-identical results (knn/range x full/noopt), and "
+                        "modeled-clock throughput scaling >= --min-scaling")
+    p.add_argument("--min-scaling", type=float, default=2.5,
+                   help="modeled throughput scaling the --shard-smoke gate "
+                        "requires at --shards shards (default 2.5)")
     p.add_argument("--check", action="store_true",
                    help="smoke assertions: zero errors, occupancy > 1, and a "
                         "bit-identical spot-check vs direct engine calls")
@@ -179,13 +197,25 @@ def _add_serve(sub):
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import json
 
     from repro.api import SearchSession
-    from repro.serve import LoadSpec, ServiceConfig, run_load, spot_check
+    from repro.serve import (
+        LoadSpec,
+        ServiceConfig,
+        run_load,
+        shard_smoke,
+        shard_spot_check,
+        spot_check,
+    )
 
     _validate_point_args(args)
     if args.rps <= 0 or args.duration <= 0 or args.clients < 1:
         raise _cli_error("--rps/--duration must be positive, --clients >= 1")
+    if args.shards is not None and args.shards < 1:
+        raise _cli_error(f"--shards must be >= 1, got {args.shards}")
+    if args.shard_smoke and (args.shards is None or args.shards < 2):
+        raise _cli_error("--shard-smoke needs --shards >= 2")
     if args.dataset:
         points, spec = load(args.dataset, scale=args.scale)
         radius = args.radius if args.radius else spec.radius
@@ -213,12 +243,61 @@ def _cmd_serve(args) -> int:
         seed=args.seed,
     )
 
+    if args.shard_smoke:
+        # Gate mode: 1-shard vs N-shard topologies, zero errors,
+        # bit-identical results, modeled-clock scaling >= --min-scaling.
+        try:
+            summary = asyncio.run(
+                shard_smoke(
+                    points,
+                    load_spec,
+                    shards=args.shards,
+                    min_scaling=args.min_scaling,
+                    replication=args.replication,
+                    service_config=config,
+                )
+            )
+        except AssertionError as exc:
+            print(f"serve-shard-smoke FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(f"serve-shard-smoke ok: {args.shards} shards, modeled "
+              f"throughput scaling {summary['scaling_modeled']:.2f}x "
+              f"(gate {args.min_scaling:g}x), "
+              f"{summary['identity_cells_checked']} identity cells "
+              f"bit-identical across knn/range x full/noopt")
+        for n, s in summary["topologies"].items():
+            o = s["outcome"]
+            print(f"  {n} shard(s): {o['completed']} completed / "
+                  f"{o['submitted']} submitted, 0 errors, fan-out mean "
+                  f"{s['fanout_mean']:.2f}, modeled makespan "
+                  f"{s['modeled_makespan_s'] * 1e3:.3f} ms")
+        if args.json_out == "-":
+            print(json.dumps(summary, indent=2))
+        elif args.json_out:
+            with open(args.json_out, "w") as fh:
+                json.dump(summary, fh, indent=2)
+                fh.write("\n")
+            print(f"summary written to {args.json_out}")
+        return 0
+
     async def drive():
-        service = session.serve(config=config)
+        service = session.serve(
+            config=config,
+            shards=args.shards,
+            workers=args.workers,
+            replication=args.replication,
+        )
         async with service:
             outcome = await run_load(service, points, load_spec)
             checked = 0
-            if args.check:
+            if args.check and args.shards:
+                checked = await shard_spot_check(
+                    points,
+                    load_spec,
+                    shards=args.shards,
+                    replication=args.replication,
+                )
+            elif args.check:
                 checked = await spot_check(
                     service, session.engine, points, load_spec
                 )
@@ -246,6 +325,16 @@ def _cmd_serve(args) -> int:
               f"p99 {lat['p99'] * 1e3:.1f} ms, max {lat['max'] * 1e3:.1f} ms")
     print(f"queue: depth max {roll['queue']['depth_max']}, "
           f"mean {roll['queue']['depth_mean']:.1f}")
+    if args.shards:
+        sh = service.engine.shard_rollup()
+        fan = sh["fanout"]["mean"]
+        print(f"shards: {sh['n_shards']} on {sh['n_workers']} workers "
+              f"(replication {sh['replication']}), fan-out mean "
+              f"{fan:.2f}" if fan is not None else
+              f"shards: {sh['n_shards']} on {sh['n_workers']} workers")
+        print(f"  failovers {sh['failovers']}, brute fallbacks "
+              f"{sh['brute_fallbacks']}, modeled makespan "
+              f"{sh['makespan_s'] * 1e3:.3f} ms")
 
     report = service.report(
         "repro serve",

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geometry.grid import UniformGrid
+from repro.geometry.morton import morton_order
 
 #: KNN equi-volume heuristic coefficient: w = 2 * (3/(4*pi))^(1/3) * a
 EQUIV_VOLUME_COEFF = 2.0 * (3.0 / (4.0 * np.pi)) ** (1.0 / 3.0)
@@ -223,3 +224,66 @@ def make_partitions(
 
     parts.sort(key=lambda p: p.aabb_width)
     return parts
+
+
+@dataclass(frozen=True)
+class SpatialShard:
+    """One spatial shard of a point cloud.
+
+    ``point_ids`` are **global** indices into the original point array,
+    sorted ascending (so a 1-shard plan is the identity and a shard
+    engine over ``points[point_ids]`` maps local index ``i`` back to
+    global index ``point_ids[i]``). ``lo``/``hi`` bound the member
+    points tightly; a query can only have ``r``-neighbors in this shard
+    if its distance to the ``[lo, hi]`` box is at most ``r``.
+    """
+
+    shard_id: int
+    point_ids: np.ndarray    # (M,) int64, ascending global indices
+    lo: np.ndarray           # (d,) float64 tight lower corner
+    hi: np.ndarray           # (d,) float64 tight upper corner
+
+    @property
+    def n_points(self) -> int:
+        return len(self.point_ids)
+
+
+def make_spatial_shards(points: np.ndarray, n_shards: int) -> list[SpatialShard]:
+    """Split a point cloud into ``n_shards`` spatially coherent shards.
+
+    Reuses the partitioning machinery's spatial-ordering primitive: the
+    points are walked in Morton (Z) order — the same order the engine
+    uses for its BVH builds — and cut into ``n_shards`` contiguous runs
+    of near-equal size. Contiguity on the Z-curve keeps each shard
+    spatially compact, so shard AABBs overlap little and boundary
+    queries fan out to few shards.
+
+    Every point lands in exactly one shard (shards partition the index
+    set), empty shards never occur for ``n_shards <= len(points)``, and
+    the split is deterministic for a given point array.
+    """
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    n_shards = int(n_shards)
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    n = len(points)
+    if n == 0:
+        raise ValueError("cannot shard an empty point cloud")
+    n_shards = min(n_shards, n)
+    order = morton_order(points)
+    # Near-equal contiguous runs along the Z-curve: the first
+    # ``n % n_shards`` shards take one extra point.
+    bounds = np.linspace(0, n, n_shards + 1).round().astype(np.int64)
+    shards: list[SpatialShard] = []
+    for sid in range(n_shards):
+        ids = np.sort(order[bounds[sid]:bounds[sid + 1]])
+        member = points[ids]
+        shards.append(
+            SpatialShard(
+                shard_id=sid,
+                point_ids=ids,
+                lo=member.min(axis=0),
+                hi=member.max(axis=0),
+            )
+        )
+    return shards

@@ -95,6 +95,28 @@ class SearchResults:
             for row, c in zip(self.indices, self.counts)
         ]
 
+    def canonical(self) -> "SearchResults":
+        """Rows reordered into canonical ``(sq_distance, index)`` order.
+
+        The canonical order is topology-independent: it depends only on
+        the neighbor *set*, never on traversal or discovery order. The
+        sharded serving tier emits it natively; applying it to a
+        single-engine result makes the two bit-comparable (KNN results
+        are already distance-sorted, so for them this is the identity
+        whenever no two distinct neighbors tie exactly).
+        """
+        rows = np.arange(len(self.indices))[:, None]
+        by_idx = np.argsort(self.indices, axis=1, kind="stable")
+        idx = self.indices[rows, by_idx]
+        d2 = self.sq_distances[rows, by_idx]
+        by_d2 = np.argsort(d2, axis=1, kind="stable")
+        return SearchResults(
+            indices=idx[rows, by_d2],
+            counts=self.counts.copy(),
+            sq_distances=d2[rows, by_d2],
+            report=self.report,
+        )
+
     def sorted_by_distance(self) -> "SearchResults":
         """Return a copy with each row sorted ascending by distance."""
         order = np.argsort(self.sq_distances, axis=1, kind="stable")

@@ -31,6 +31,7 @@ import datetime
 import json
 import platform
 import pstats
+import re
 import sys
 import time
 from dataclasses import dataclass, replace
@@ -104,6 +105,7 @@ class Scenario:
     seed: int = 7
     repeat: int = 1      # query batches served by one held engine
     parallel: int = 0    # parallel_bundles workers (0 = serial config)
+    shards: int = 0      # sharded topology workers (0 = single engine)
 
     @property
     def name(self) -> str:
@@ -113,6 +115,8 @@ class Scenario:
             base = f"{base}/x{self.repeat}"
         if self.parallel:
             base = f"{base}/par{self.parallel}"
+        if self.shards:
+            base = f"{base}/sh{self.shards}"
         return base
 
     def config(self) -> RTNNConfig:
@@ -133,9 +137,11 @@ def repeat_scenarios() -> list[Scenario]:
 
 def smoke_suite() -> list[Scenario]:
     """The CI smoke subset: every base family baseline vs fully
-    optimized, the repeat-batch amortization scenarios, and one
-    parallel fan-out twin (asserted bit-identical to its serial
-    scenario by :func:`check_parallel_consistency`)."""
+    optimized, the repeat-batch amortization scenarios, one parallel
+    fan-out twin (asserted bit-identical to its serial scenario by
+    :func:`check_parallel_consistency`), and one sharded-topology twin
+    (result-identical to its single-engine scenario, checked by
+    :func:`check_shard_consistency`)."""
     return [
         Scenario(family=f, n_points=400, n_queries=160, variant=v)
         for f in ("kitti", "uniform", "clustered")
@@ -143,6 +149,8 @@ def smoke_suite() -> list[Scenario]:
     ] + repeat_scenarios() + [
         Scenario(family="clustered", n_points=400, n_queries=160,
                  variant="sched+part", parallel=4),
+        Scenario(family="uniform", n_points=400, n_queries=160,
+                 variant="sched+part", shards=4),
     ]
 
 
@@ -179,7 +187,19 @@ def run_scenario(scenario: Scenario) -> dict:
     queries = points[: scenario.n_queries]
 
     tracer = RecordingTracer()
-    engine = RTNNEngine(points, config=scenario.config(), tracer=tracer)
+    if scenario.shards:
+        # Imported lazily: repro.serve pulls in asyncio machinery the
+        # single-engine bench path never needs.
+        from repro.serve.shard import ShardedEngine
+
+        engine = ShardedEngine(
+            points,
+            n_shards=scenario.shards,
+            config=scenario.config(),
+            tracer=tracer,
+        )
+    else:
+        engine = RTNNEngine(points, config=scenario.config(), tracer=tracer)
     walls = []
     for _ in range(scenario.repeat):
         t0 = time.perf_counter()
@@ -189,11 +209,16 @@ def run_scenario(scenario: Scenario) -> dict:
             res = engine.range_search(queries, radius=radius, k=k)
         walls.append(time.perf_counter() - t0)
 
+    cache = (
+        engine.cache_stats()
+        if scenario.shards
+        else engine.gas_cache.stats.as_dict()
+    )
     report = RunReport.from_run(
         scenario.name,
         tracer,
         result=res,
-        extras={"gas_cache": engine.gas_cache.stats.as_dict()},
+        extras={"gas_cache": cache},
     )
     valid = res.indices >= 0
     record = {
@@ -216,7 +241,7 @@ def run_scenario(scenario: Scenario) -> dict:
         record["wall_first_s"] = walls[0]
         record["wall_warm_s"] = warm
         record["warm_speedup"] = (walls[0] / warm) if warm > 0 else float("inf")
-        record["gas_cache"] = engine.gas_cache.stats.as_dict()
+        record["gas_cache"] = cache
     return record
 
 
@@ -225,6 +250,16 @@ def serial_twin(name: str) -> str | None:
     if "/par" not in name:
         return None
     return name.rsplit("/par", 1)[0]
+
+
+_SHARD_SUFFIX = re.compile(r"/sh\d+$")
+
+
+def shard_twin(name: str) -> str | None:
+    """Name of the single-engine scenario a ``/shN`` scenario mirrors."""
+    if not _SHARD_SUFFIX.search(name):
+        return None
+    return _SHARD_SUFFIX.sub("", name)
 
 
 def run_suite(scenarios: list[Scenario], verbose: bool = True) -> dict:
@@ -295,6 +330,37 @@ def check_parallel_consistency(payload: dict) -> list[str]:
                 failures.append(
                     f"{name}: counter {key!r} diverged from serial twin "
                     f"({b!r} -> {a!r})"
+                )
+    return failures
+
+
+def check_shard_consistency(payload: dict) -> list[str]:
+    """Assert every ``/shN`` scenario returns the single-engine answer.
+
+    The sharded scatter-gather merge is value-deterministic, so the
+    neighbor population and the index checksum must match the
+    single-engine twin exactly. Counters and modeled seconds are *not*
+    compared: a sharded topology legitimately builds smaller per-shard
+    BVHs and traverses them independently, so its work profile differs
+    by construction.
+    """
+    failures: list[str] = []
+    scenarios = payload.get("scenarios", {})
+    for name, rec in sorted(scenarios.items()):
+        twin = shard_twin(name)
+        if twin is None:
+            continue
+        if twin not in scenarios:
+            failures.append(
+                f"{name}: single-engine twin {twin!r} missing from suite"
+            )
+            continue
+        ref = scenarios[twin]
+        for key in ("neighbors", "checksum"):
+            if rec.get(key) != ref.get(key):
+                failures.append(
+                    f"{name}: {key} diverged from single-engine twin "
+                    f"({ref.get(key)!r} -> {rec.get(key)!r})"
                 )
     return failures
 
@@ -470,6 +536,18 @@ def main(argv=None) -> int:
         status = 1
     else:
         print("bench: parallel scenarios match their serial twins exactly")
+
+    shard_failures = check_shard_consistency(payload)
+    if shard_failures:
+        print(
+            f"bench: {len(shard_failures)} sharded/single divergence(s):",
+            file=sys.stderr,
+        )
+        for failure in shard_failures:
+            print(f"  FAIL {failure}", file=sys.stderr)
+        status = 1
+    else:
+        print("bench: sharded scenarios match their single-engine twins")
 
     if args.baseline:
         baseline_path = Path(args.baseline)

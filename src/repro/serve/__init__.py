@@ -8,6 +8,13 @@ launches (bit-identical per-request results), per-request deadlines,
 bounded retry with exponential backoff, and graceful degradation to
 the exact brute baseline under sustained failure or overload.
 
+To scale past one engine, :class:`ShardedEngine` puts N spatially
+sharded engine workers (consistent-hash placement, replica failover,
+scatter-gather with a canonical deterministic merge — bit-identical to
+the single-engine path) behind the very same front door; see
+:mod:`repro.serve.shard` and the "Sharded topology" section of
+``docs/serving.md``.
+
 Quick start::
 
     import asyncio
@@ -23,8 +30,16 @@ See ``docs/serving.md`` for the architecture and policies.
 
 from repro.serve.batcher import MicroBatch, execute_batch
 from repro.serve.faults import Fault, FaultInjector, TransientFault
-from repro.serve.loadgen import LoadOutcome, LoadSpec, run_load, spot_check
+from repro.serve.loadgen import (
+    LoadOutcome,
+    LoadSpec,
+    run_load,
+    shard_smoke,
+    shard_spot_check,
+    spot_check,
+)
 from repro.serve.metrics import ServiceMetrics
+from repro.serve.shard import HashRing, ShardedEngine, ShardWorker
 from repro.serve.queue import (
     AdmissionError,
     DeadlineExpired,
@@ -55,4 +70,9 @@ __all__ = [
     "LoadOutcome",
     "run_load",
     "spot_check",
+    "ShardedEngine",
+    "ShardWorker",
+    "HashRing",
+    "shard_smoke",
+    "shard_spot_check",
 ]

@@ -40,6 +40,9 @@ class ServiceMetrics:
     batches: int = 0
     retries: int = 0
     fallback_batches: int = 0
+    shard_batches: int = 0
+    shard_failovers: int = 0
+    shard_brute: int = 0
     latencies_s: list = field(default_factory=list)
     queue_waits_s: list = field(default_factory=list)
     occupancies: list = field(default_factory=list)
@@ -56,6 +59,17 @@ class ServiceMetrics:
         self.depth_samples.append(int(depth_after))
         if degraded:
             self.fallback_batches += 1
+
+    def observe_shard_batch(self, extra: dict) -> None:
+        """Fold one sharded batch's scatter record into the counters.
+
+        ``extra`` is the ``RunReport.extras["shard"]`` dict a
+        :class:`~repro.serve.shard.ShardedEngine` attaches to every
+        fused launch (failovers, brute-degraded shards, fan-out).
+        """
+        self.shard_batches += 1
+        self.shard_failovers += int(extra.get("failovers", 0))
+        self.shard_brute += int(extra.get("brute_shards", 0))
 
     def observe_request(
         self, latency_s: float, queue_wait_s: float, degraded: bool
@@ -113,6 +127,11 @@ class ServiceMetrics:
                     float(np.mean(self.depth_samples)) if self.depth_samples else 0.0
                 ),
             },
+            "shard": {
+                "batches": self.shard_batches,
+                "failovers": self.shard_failovers,
+                "brute_shards": self.shard_brute,
+            },
         }
 
     def to_report(
@@ -120,11 +139,20 @@ class ServiceMetrics:
         name: str = "serve",
         tracer: RecordingTracer | None = None,
         scenario: dict | None = None,
+        shards: dict | None = None,
     ) -> RunReport:
-        """Package the rollup (and span tree, if traced) as a RunReport."""
+        """Package the rollup (and span tree, if traced) as a RunReport.
+
+        ``shards`` — a :meth:`ShardedEngine.shard_rollup` dict — rides
+        along as ``extras["service"]["shards"]`` so topology state
+        (per-worker busy time, placement, fan-out) persists next to the
+        request counters.
+        """
         if tracer is not None:
             report = RunReport.from_run(name, tracer, scenario=scenario)
         else:
             report = RunReport(name=name, scenario=dict(scenario or {}))
         report.extras["service"] = self.rollup()
+        if shards is not None:
+            report.extras["service"]["shards"] = shards
         return report

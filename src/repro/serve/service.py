@@ -22,9 +22,13 @@ into a served primitive with production-shaped semantics:
   boundary (:class:`DeadlineExpired`); cancelling the ``submit``
   awaitable marks the request so the worker drops it.
 
-The service is deliberately in-process and single-worker: the engine
-itself is the serialized resource (one simulated device), exactly like
-one model replica in an inference-serving stack.
+The front door is deliberately in-process and single-loop: the engine
+it holds is the serialized resource, exactly like one model replica in
+an inference-serving stack. To scale past one simulated device, hand
+it a :class:`~repro.serve.shard.ShardedEngine` — same ``submit()``
+surface, same batching/retry/degradation machinery, but each fused
+launch scatter-gathers across N spatially sharded engine workers with
+bit-identical results (see :mod:`repro.serve.shard`).
 """
 
 from __future__ import annotations
@@ -211,9 +215,20 @@ class SearchService:
         return self._clock() < self._degraded_until
 
     def report(self, name: str = "serve", scenario: dict | None = None):
-        """The service rollup as an observability RunReport."""
+        """The service rollup as an observability RunReport.
+
+        When the held engine is a sharded topology, its
+        ``shard_rollup()`` (placement, per-worker modeled busy time,
+        fan-out) rides along under ``extras["service"]["shards"]``.
+        """
         tracer = self.tracer if getattr(self.tracer, "enabled", False) else None
-        return self.metrics.to_report(name, tracer=tracer, scenario=scenario)
+        shard_rollup = getattr(self.engine, "shard_rollup", None)
+        return self.metrics.to_report(
+            name,
+            tracer=tracer,
+            scenario=scenario,
+            shards=shard_rollup() if callable(shard_rollup) else None,
+        )
 
     # ------------------------------------------------------------------
     # client surface
@@ -364,26 +379,39 @@ class SearchService:
                 results = await loop.run_in_executor(
                     None, self._fallback, batch
                 )
+            # A sharded engine reports shard-level degradation (brute
+            # fallback on dead shards, replica failovers) per fused
+            # group — i.e. per request — in the launch report.
+            shard_extra = None
+            if results and results[0].report is not None:
+                shard_extra = results[0].report.extras.get("shard")
+            if shard_extra is not None:
+                self.metrics.observe_shard_batch(shard_extra)
+            group_degraded = (shard_extra or {}).get("degraded_groups") or []
             sp.add(
                 occupancy=batch.occupancy,
                 batch_queries=batch.n_queries,
                 attempts=attempts,
                 degraded=int(degraded),
+                shard_failovers=(shard_extra or {}).get("failovers", 0),
             )
             self.metrics.observe_batch(
                 batch.occupancy, batch.n_queries, self._queue.depth, degraded
             )
             done_at = self._clock()
-            for req, res in zip(batch.requests, results):
+            for pos, (req, res) in enumerate(zip(batch.requests, results)):
                 latency = done_at - req.submitted_at
                 queue_wait = started_at - req.submitted_at
+                req_degraded = degraded or (
+                    pos < len(group_degraded) and bool(group_degraded[pos])
+                )
                 with self.tracer.span("serve.request", phase="serve") as rp:
                     rp.add(
                         latency_s=latency,
                         queue_wait_s=queue_wait,
                         request_queries=req.n_queries,
                         attempts=attempts,
-                        degraded=int(degraded),
+                        degraded=int(req_degraded),
                     )
                     rp.note(rid=req.rid, kind=req.kind)
                 self._resolve(
@@ -391,7 +419,7 @@ class SearchService:
                     ServeResult(
                         results=res,
                         rid=req.rid,
-                        degraded=degraded,
+                        degraded=req_degraded,
                         attempts=attempts,
                         batch_occupancy=batch.occupancy,
                         latency_s=latency,

@@ -9,7 +9,9 @@ from repro.core.partition import (
     default_cell_size,
     knn_aabb_width,
     make_partitions,
+    make_spatial_shards,
 )
+from repro.geometry.morton import morton_order
 
 
 def test_default_cell_size():
@@ -117,6 +119,42 @@ def test_capped_partition_uses_full_width():
     parts = make_partitions(mc, "range", 0.05, 50)
     capped = [p for p in parts if p.capped]
     assert capped and capped[0].aabb_width == pytest.approx(0.1)
+
+
+def test_spatial_shards_partition_morton_runs():
+    rng = np.random.default_rng(11)
+    pts = rng.random((257, 3))
+    shards = make_spatial_shards(pts, 4)
+    assert [s.shard_id for s in shards] == [0, 1, 2, 3]
+    # every point appears exactly once, and sizes are near-equal
+    all_ids = np.concatenate([s.point_ids for s in shards])
+    assert np.array_equal(np.sort(all_ids), np.arange(len(pts)))
+    sizes = [s.n_points for s in shards]
+    assert max(sizes) - min(sizes) <= 1
+    # shards are contiguous runs along the Z-curve, ids sorted ascending
+    order = morton_order(pts)
+    offset = 0
+    for s in shards:
+        run = order[offset:offset + s.n_points]
+        assert np.array_equal(s.point_ids, np.sort(run))
+        offset += s.n_points
+        # tight AABB: member extrema, not padded
+        member = pts[s.point_ids]
+        assert np.array_equal(s.lo, member.min(axis=0))
+        assert np.array_equal(s.hi, member.max(axis=0))
+
+
+def test_spatial_shards_edge_cases():
+    pts = np.random.default_rng(12).random((5, 3))
+    # one shard is the identity split
+    [only] = make_spatial_shards(pts, 1)
+    assert np.array_equal(only.point_ids, np.arange(5))
+    # shard count clamps to the population
+    assert len(make_spatial_shards(pts, 50)) == 5
+    with pytest.raises(ValueError):
+        make_spatial_shards(pts, 0)
+    with pytest.raises(ValueError):
+        make_spatial_shards(np.empty((0, 3)), 2)
 
 
 def test_shrink_validation_and_effect():

@@ -146,6 +146,54 @@ def test_repeat_scenarios_in_smoke_suite():
     assert {s.name for s in repeats} <= smoke_names
 
 
+def test_shard_scenario_naming_and_twin():
+    sharded = bench.Scenario(family="uniform", n_points=80, n_queries=40,
+                             variant="sched+part", shards=4)
+    assert sharded.name == "uniform-80/sched+part/knn/sh4"
+    assert bench.shard_twin(sharded.name) == "uniform-80/sched+part/knn"
+    # variant names containing "sh" must not look like shard suffixes
+    assert bench.shard_twin("uniform-80/sched+part/knn") is None
+    assert bench.shard_twin("uniform-80/sched+part/knn/par4") is None
+
+
+def test_smoke_suite_has_a_sharded_twin():
+    smoke = bench.smoke_suite()
+    sharded = [s for s in smoke if s.shards]
+    assert sharded, "smoke suite lost its sharded-topology scenario"
+    names = {s.name for s in smoke}
+    for s in sharded:
+        assert bench.shard_twin(s.name) in names
+
+
+def test_sharded_scenario_matches_single_engine_twin():
+    suite = [
+        bench.Scenario(family="uniform", n_points=80, n_queries=40,
+                       variant="sched+part"),
+        bench.Scenario(family="uniform", n_points=80, n_queries=40,
+                       variant="sched+part", shards=3),
+    ]
+    payload = bench.run_suite(suite, verbose=False)
+    assert bench.check_shard_consistency(payload) == []
+    rec = payload["scenarios"]["uniform-80/sched+part/knn/sh3"]
+    ref = payload["scenarios"]["uniform-80/sched+part/knn"]
+    assert rec["neighbors"] == ref["neighbors"]
+    assert rec["checksum"] == ref["checksum"]
+
+
+def test_shard_consistency_catches_divergence_and_missing_twin():
+    payload = {
+        "scenarios": {
+            "uniform-80/noopt/knn": {"neighbors": 10, "checksum": 42},
+            "uniform-80/noopt/knn/sh4": {"neighbors": 10, "checksum": 41},
+            "kitti-80/noopt/range/sh4": {"neighbors": 5, "checksum": 7},
+        }
+    }
+    failures = bench.check_shard_consistency(payload)
+    assert len(failures) == 2
+    assert any("checksum" in f for f in failures)
+    assert any("missing" in f for f in failures)
+
+
 def test_repeat_record_carries_amortization_fields(payload):
     records = payload["scenarios"]
     repeated = records["uniform-80/noopt/knn/x2"]
