@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-concurrency analyze baseline bench bench-smoke serve-smoke serve-shard-smoke profile trace-demo ci
+.PHONY: test lint lint-concurrency analyze baseline bench bench-smoke serve-smoke serve-shard-smoke true-knn-smoke profile trace-demo ci
 
 # Extra pytest arguments ride in PYTEST_FLAGS (CI passes --junitxml=...).
 test:
@@ -55,6 +55,17 @@ serve-shard-smoke:
 	  --mode knn -k 8 --radius 0.05 --rps 150 --clients 4 --duration 1 \
 	  --window-ms 5 --seed 0 --shards 4 --shard-smoke --min-scaling 2.5
 
+# Unbounded exact-kNN gate: seeded true-knn traffic served by the solo
+# engine and by 1-shard and 4-shard topologies; fails on any cell of
+# the full/noopt x 1/4-shard identity matrix that is not bit-identical
+# to BOTH the solo engine and the brute-force exact-kNN oracle, on a
+# diverging radius schedule, on incoherent relaunch counters, or on
+# any query taking more than 12 expansion rounds.
+true-knn-smoke:
+	$(PYTHON) -m repro.cli serve --dataset Bunny-360K --scale 0.1 \
+	  --mode true-knn -k 8 --seed 0 --shards 4 --true-knn-smoke \
+	  --max-rounds 12
+
 # cProfile the fully-optimized large scenario (override with
 # PROFILE_SCENARIO=<name> to pick another suite entry).
 profile:
@@ -67,4 +78,4 @@ trace-demo:
 # Everything CI gates on, in the same order as .github/workflows/ci.yml
 # runs its jobs; tests/test_ci_consistency.py cross-checks the two so
 # they cannot drift.
-ci: test analyze lint-concurrency bench-smoke serve-smoke serve-shard-smoke
+ci: test analyze lint-concurrency bench-smoke serve-smoke serve-shard-smoke true-knn-smoke

@@ -58,6 +58,23 @@ class SearchSession:
         """All neighbors within ``radius``, at most ``k`` per query."""
         return self.engine.range_search(queries, radius=radius, k=k)
 
+    def true_knn_search(
+        self, queries, k: int, radius: float | None = None, policy=None
+    ) -> SearchResults:
+        """The exact ``k`` nearest neighbors per query, no radius bound.
+
+        Adaptive radius expansion over the bounded engine: rounds grow
+        geometrically from a density-seeded radius (override with
+        ``radius`` or a full
+        :class:`~repro.core.expansion.ExpansionPolicy`), re-launching
+        only still-unsatisfied queries; ``counts < k`` only when the
+        whole cloud holds fewer than ``k`` points. Convergence
+        telemetry rides in ``results.report.extras["true_knn"]``.
+        """
+        return self.engine.true_knn_search(
+            queries, k=k, radius=radius, policy=policy
+        )
+
     def update_points(self, points) -> float:
         """Move the point set; cached structures are refit when the
         count is unchanged (see :meth:`RTNNEngine.update_points`)."""
@@ -160,4 +177,18 @@ def range_search(
     """Up to ``k`` neighbors of each query within ``radius``."""
     return RTNNEngine(points, device=device, config=config).range_search(
         queries, radius=radius, k=k
+    )
+
+
+def true_knn_search(
+    points,
+    queries,
+    k: int,
+    radius: float | None = None,
+    device: DeviceSpec = RTX_2080,
+    config: RTNNConfig | None = None,
+) -> SearchResults:
+    """The exact ``k`` nearest neighbors of each query (unbounded)."""
+    return RTNNEngine(points, device=device, config=config).true_knn_search(
+        queries, k=k, radius=radius
     )

@@ -15,6 +15,10 @@ from repro.utils.validate import as_points, check_positive, check_positive_int
 #: queries per chunk, keeps the distance matrix ~tens of MB
 _CHUNK = 2048
 
+#: queries per chunk for the true-kNN oracle, whose (Q, N, 3) diff
+#: tensor is 3x the distance matrix
+_TRUE_CHUNK = 256
+
 
 def brute_force_range(points, queries, radius: float, k: int) -> SearchResults:
     """All neighbors within ``radius`` (at most ``k``, nearest kept).
@@ -38,6 +42,36 @@ def brute_force_knn(points, queries, k: int, radius: float) -> SearchResults:
     radius = check_positive(radius, "radius")
     k = check_positive_int(k, "k")
     return _brute(points, queries, radius, k)
+
+
+def brute_force_true_knn(points, queries, k: int) -> SearchResults:
+    """The exact ``k`` nearest neighbors with **no** radius bound.
+
+    Oracle for the engine's ``true_knn`` adaptive-expansion search.
+    Distances are computed subtract-then-reduce (``(q - p)**2`` summed
+    per pair), matching the IS shader's arithmetic bit for bit — the
+    GEMM expansion behind :func:`pairwise_sq_distances` rounds some
+    pairs 1 ulp differently, which would break the bit-identity gate.
+    Ties broken toward the lower point index (stable sort); a cloud
+    with fewer than ``k`` points yields ``counts < k`` with the usual
+    ``-1`` / ``inf`` padding.
+    """
+    points = as_points(points, "points")
+    queries = as_points(queries, "queries")
+    k = check_positive_int(k, "k")
+    n_q = len(queries)
+    indices, counts, sq_d = empty_results(n_q, k)
+    take = min(k, len(points))
+    for s in range(0, n_q, _TRUE_CHUNK):
+        block = queries[s : s + _TRUE_CHUNK]
+        diff = block[:, None, :] - points[None, :, :]
+        d2 = np.einsum("qnd,qnd->qn", diff, diff)
+        order = np.argsort(d2, axis=1, kind="stable")[:, :take]
+        rows = np.arange(len(block))[:, None]
+        indices[s : s + _TRUE_CHUNK, :take] = order
+        sq_d[s : s + _TRUE_CHUNK, :take] = d2[rows, order]
+        counts[s : s + _TRUE_CHUNK] = take
+    return SearchResults(indices=indices, counts=counts, sq_distances=sq_d, report=None)
 
 
 def _brute(points, queries, radius, k) -> SearchResults:

@@ -64,10 +64,11 @@ def _add_search(sub):
     src.add_argument("--dataset", choices=sorted(DATASETS), help="registry dataset")
     p.add_argument("--scale", type=float, default=1.0, help="registry dataset scale")
     p.add_argument("--queries", help="query file (default: self-search)")
-    p.add_argument("--mode", choices=("knn", "range"), default="knn")
+    p.add_argument("--mode", choices=("knn", "range", "true-knn"), default="knn")
     p.add_argument("-k", type=int, default=8, help="neighbor bound K")
     p.add_argument("-r", "--radius", type=float, help="search radius "
-                   "(default: registry radius or scene-extent/100)")
+                   "(default: registry radius or scene-extent/100; for "
+                   "true-knn: density-seeded initial radius)")
     p.add_argument("--device", choices=sorted(KNOWN_DEVICES), default=RTX_2080.name)
     p.add_argument("--no-schedule", action="store_true")
     p.add_argument("--no-partition", action="store_true")
@@ -82,6 +83,7 @@ def _add_search(sub):
 
 def _cmd_search(args) -> int:
     _validate_point_args(args)
+    mode = args.mode.replace("-", "_")
     if args.dataset:
         points, spec = load(args.dataset, scale=args.scale)
         radius = args.radius if args.radius else spec.radius
@@ -91,6 +93,8 @@ def _cmd_search(args) -> int:
         if radius is None:
             extent = float((points.max(axis=0) - points.min(axis=0)).max())
             radius = extent / 100.0
+    if mode == "true_knn" and args.radius is None:
+        radius = None  # density-seeded initial radius (engine default)
     queries = _load_points(args.queries) if args.queries else points
 
     config = RTNNConfig(
@@ -105,18 +109,28 @@ def _cmd_search(args) -> int:
     walls = []
     for _ in range(repeat):
         t0 = time.perf_counter()
-        if args.mode == "knn":
+        if mode == "knn":
             res = engine.knn_search(queries, k=args.k, radius=radius)
+        elif mode == "true_knn":
+            res = engine.true_knn_search(queries, k=args.k, radius=radius)
         else:
             res = engine.range_search(queries, radius=radius, k=args.k)
         walls.append(time.perf_counter() - t0)
     wall = walls[0]
 
     rep = res.report
+    tk = rep.extras.get("true_knn")
+    rdesc = (f"r0={tk['seed_radius']:g} (seeded)" if tk and radius is None
+             else f"r={radius:g}")
     print(f"{args.mode} search: {len(points)} points, {len(queries)} queries, "
-          f"r={radius:g}, k={args.k}")
+          f"{rdesc}, k={args.k}")
     print(f"neighbors found: total {int(res.counts.sum())}, "
           f"mean {res.counts.mean():.2f}/query")
+    if tk:
+        radii = ", ".join(f"{r:g}" for r in tk["round_radii"])
+        print(f"expansion: {tk['rounds']} rounds (radii [{radii}]), "
+              f"growth {tk['growth']:g}, relaunched {tk['relaunched']}, "
+              f"{'converged' if tk['converged'] else 'ROUND BUDGET HIT'}")
     print(f"modeled GPU time on {rep.device}: {rep.modeled_time * 1e3:.4f} ms "
           f"(simulator wall: {wall:.2f} s)")
     for cat, sec in rep.breakdown.as_dict().items():
@@ -151,10 +165,11 @@ def _add_serve(sub):
     src.add_argument("--points", help="point cloud file (.ply/.xyz)")
     src.add_argument("--dataset", choices=sorted(DATASETS), help="registry dataset")
     p.add_argument("--scale", type=float, default=1.0, help="registry dataset scale")
-    p.add_argument("--mode", choices=("knn", "range"), default="knn")
+    p.add_argument("--mode", choices=("knn", "range", "true-knn"), default="knn")
     p.add_argument("-k", type=int, default=8, help="neighbor bound K")
     p.add_argument("-r", "--radius", type=float, help="search radius "
-                   "(default: registry radius or scene-extent/100)")
+                   "(default: registry radius or scene-extent/100; for "
+                   "true-knn this is the round-0 radius)")
     p.add_argument("--device", choices=sorted(KNOWN_DEVICES), default=RTX_2080.name)
     p.add_argument("--rps", type=float, default=200.0,
                    help="aggregate open-loop arrival rate (default 200)")
@@ -188,6 +203,15 @@ def _add_serve(sub):
     p.add_argument("--min-scaling", type=float, default=2.5,
                    help="modeled throughput scaling the --shard-smoke gate "
                         "requires at --shards shards (default 2.5)")
+    p.add_argument("--true-knn-smoke", action="store_true",
+                   help="gate mode: serve true-knn traffic on 1-shard and "
+                        "--shards topologies and assert bit-identity vs the "
+                        "solo engine AND the brute-force exact-kNN oracle, "
+                        "matching radius schedules, coherent relaunch "
+                        "counters, and round counts <= --max-rounds")
+    p.add_argument("--max-rounds", type=int, default=12,
+                   help="expansion-round bound the --true-knn-smoke gate "
+                        "enforces (default 12)")
     p.add_argument("--check", action="store_true",
                    help="smoke assertions: zero errors, occupancy > 1, and a "
                         "bit-identical spot-check vs direct engine calls")
@@ -207,6 +231,7 @@ def _cmd_serve(args) -> int:
         shard_smoke,
         shard_spot_check,
         spot_check,
+        true_knn_smoke,
     )
 
     _validate_point_args(args)
@@ -216,6 +241,10 @@ def _cmd_serve(args) -> int:
         raise _cli_error(f"--shards must be >= 1, got {args.shards}")
     if args.shard_smoke and (args.shards is None or args.shards < 2):
         raise _cli_error("--shard-smoke needs --shards >= 2")
+    if args.true_knn_smoke and (args.shards is None or args.shards < 2):
+        raise _cli_error("--true-knn-smoke needs --shards >= 2")
+    if args.max_rounds < 1:
+        raise _cli_error(f"--max-rounds must be >= 1, got {args.max_rounds}")
     if args.dataset:
         points, spec = load(args.dataset, scale=args.scale)
         radius = args.radius if args.radius else spec.radius
@@ -226,6 +255,7 @@ def _cmd_serve(args) -> int:
             extent = float((points.max(axis=0) - points.min(axis=0)).max())
             radius = extent / 100.0
 
+    mode = args.mode.replace("-", "_")
     session = SearchSession(points, device=KNOWN_DEVICES[args.device])
     config = ServiceConfig(
         max_queue_depth=args.depth,
@@ -236,12 +266,44 @@ def _cmd_serve(args) -> int:
         clients=args.clients,
         duration_s=args.duration,
         queries_per_request=args.queries_per_request,
-        mode=args.mode,
+        mode=mode,
         k=args.k,
         radius=radius,
         deadline_s=None if args.deadline_ms is None else args.deadline_ms / 1e3,
         seed=args.seed,
     )
+
+    if args.true_knn_smoke:
+        # Gate mode: true-knn traffic on 1-shard vs N-shard topologies,
+        # bit-identical to the solo engine and the brute-force oracle,
+        # bounded round count, coherent relaunch counters.
+        try:
+            summary = asyncio.run(
+                true_knn_smoke(
+                    points,
+                    load_spec,
+                    shards=args.shards,
+                    max_rounds=args.max_rounds,
+                    replication=args.replication,
+                )
+            )
+        except AssertionError as exc:
+            print(f"true-knn-smoke FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(f"true-knn-smoke ok: {summary['shards']} shards, k="
+              f"{summary['k']}, {summary['identity_cells_checked']} identity "
+              f"cells bit-identical vs solo engine and brute oracle "
+              f"(full/noopt x 1/{summary['shards']} shards), max "
+              f"{summary['max_rounds_seen']} expansion rounds "
+              f"(gate {summary['max_rounds_gate']})")
+        if args.json_out == "-":
+            print(json.dumps(summary, indent=2))
+        elif args.json_out:
+            with open(args.json_out, "w") as fh:
+                json.dump(summary, fh, indent=2)
+                fh.write("\n")
+            print(f"summary written to {args.json_out}")
+        return 0
 
     if args.shard_smoke:
         # Gate mode: 1-shard vs N-shard topologies, zero errors,
@@ -306,7 +368,7 @@ def _cmd_serve(args) -> int:
     service, outcome, checked = asyncio.run(drive())
     roll = service.metrics.rollup()
 
-    print(f"serve: {args.mode} over {len(points)} points, r={radius:g}, "
+    print(f"serve: {mode} over {len(points)} points, r={radius:g}, "
           f"k={args.k} on {args.device}")
     print(f"offered load: {args.rps:g} rps x {args.duration:g}s "
           f"({args.clients} clients, {args.queries_per_request} queries/req, "
@@ -340,7 +402,7 @@ def _cmd_serve(args) -> int:
         "repro serve",
         scenario={
             "n_points": len(points),
-            "mode": args.mode,
+            "mode": mode,
             "k": args.k,
             "radius": radius,
             "rps": args.rps,
@@ -384,10 +446,11 @@ def _add_trace(sub):
     src.add_argument("--dataset", choices=sorted(DATASETS), help="registry dataset")
     p.add_argument("--scale", type=float, default=1.0, help="registry dataset scale")
     p.add_argument("--queries", help="query file (default: self-search)")
-    p.add_argument("--mode", choices=("knn", "range"), default="knn")
+    p.add_argument("--mode", choices=("knn", "range", "true-knn"), default="knn")
     p.add_argument("-k", type=int, default=8, help="neighbor bound K")
     p.add_argument("-r", "--radius", type=float, help="search radius "
-                   "(default: registry radius or scene-extent/100)")
+                   "(default: registry radius or scene-extent/100; for "
+                   "true-knn: density-seeded initial radius)")
     p.add_argument("--device", choices=sorted(KNOWN_DEVICES), default=RTX_2080.name)
     p.add_argument("--no-schedule", action="store_true")
     p.add_argument("--no-partition", action="store_true")
@@ -399,6 +462,7 @@ def _add_trace(sub):
 def _cmd_trace(args) -> int:
     from repro.obs import RecordingTracer, RunReport, render_report
 
+    mode = args.mode.replace("-", "_")
     if args.dataset:
         points, spec = load(args.dataset, scale=args.scale)
         radius = args.radius if args.radius else spec.radius
@@ -410,6 +474,8 @@ def _cmd_trace(args) -> int:
             extent = float((points.max(axis=0) - points.min(axis=0)).max())
             radius = extent / 100.0
         source = args.points
+    if mode == "true_knn" and args.radius is None:
+        radius = None  # density-seeded initial radius (engine default)
     queries = _load_points(args.queries) if args.queries else points
 
     config = RTNNConfig(
@@ -424,20 +490,22 @@ def _cmd_trace(args) -> int:
         config=config,
         tracer=tracer,
     )
-    if args.mode == "knn":
+    if mode == "knn":
         res = engine.knn_search(queries, k=args.k, radius=radius)
+    elif mode == "true_knn":
+        res = engine.true_knn_search(queries, k=args.k, radius=radius)
     else:
         res = engine.range_search(queries, radius=radius, k=args.k)
 
     report = RunReport.from_run(
-        f"{args.mode} search",
+        f"{mode} search",
         tracer,
         result=res,
         scenario={
             "source": source,
             "n_points": len(points),
             "n_queries": len(queries),
-            "mode": args.mode,
+            "mode": mode,
             "k": args.k,
             "radius": radius,
         },
@@ -533,15 +601,23 @@ def main(argv=None) -> int:
 
         return analysis_main(argv[1:])
     args = parser.parse_args(argv)
-    if args.command == "search":
-        return _cmd_search(args)
-    if args.command == "serve":
-        return _cmd_serve(args)
-    if args.command == "trace":
-        return _cmd_trace(args)
-    if args.command == "datasets":
-        return _cmd_datasets(args)
-    return _cmd_experiments(args)
+    # One validation contract across every entry point (satellite of the
+    # true-knn PR): bad scalars the arg pre-checks cannot see (e.g. a
+    # degenerate cloud, a policy rejected by ExpansionPolicy) surface
+    # from repro.api / the engine as ValueError; map them to the same
+    # one-line-stderr exit 2 as _validate_point_args.
+    try:
+        if args.command == "search":
+            return _cmd_search(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "datasets":
+            return _cmd_datasets(args)
+        return _cmd_experiments(args)
+    except ValueError as exc:
+        raise _cli_error(str(exc))
 
 
 if __name__ == "__main__":

@@ -20,6 +20,13 @@ import numpy as np
 
 from repro.core.bundling import Bundle, bundle_partitions
 from repro.core.cache import GASCache, GASKey, fingerprint_array, quantize_half_width
+from repro.core.expansion import (
+    DEFAULT_POLICY,
+    ExpansionPolicy,
+    cover_radius,
+    run_expansion,
+    seed_radius,
+)
 from repro.core.parallel import BundleJob, execute_bundles, graft_spans
 from repro.core.partition import compute_megacells, default_cell_size, make_partitions
 from repro.core.queues import KnnQueueBatch, RangeAccumulator
@@ -144,6 +151,9 @@ class RTNNEngine:
         self._order_fp = fingerprint_array(self._point_order)
         # structure-update cost (refits) owed to the next run's bvh slot
         self._pending_bvh_time = 0.0
+        # memoized true-kNN seed radii, keyed on (points_fp, k, policy);
+        # invalidated whenever the point set moves (update_points)
+        self._seed_cache: dict = {}
 
     def _gas_key(self, half_width: float) -> GASKey:
         return GASKey(
@@ -164,6 +174,46 @@ class RTNNEngine:
         """The ``k`` nearest neighbors within ``radius`` per query."""
         return self._run("knn", queries, radius, k)
 
+    def true_knn_search(
+        self,
+        queries,
+        k: int,
+        radius: float | None = None,
+        policy: ExpansionPolicy | None = None,
+    ) -> SearchResults:
+        """The exact ``k`` nearest neighbors per query, no radius bound.
+
+        Runs bounded kNN rounds under a geometric radius schedule
+        (*RT-kNNS Unbound*), re-launching only the queries whose row is
+        still under-filled (``counts < k``). ``radius`` overrides the
+        round-0 radius; by default it is seeded from the point cloud's
+        grid density (:meth:`seed_radius`). A query returns
+        ``counts < k`` only when the whole cloud holds fewer than ``k``
+        points. Convergence telemetry (rounds, per-round radii,
+        re-launched fractions) rides in
+        ``results.report.extras["true_knn"]``.
+        """
+        return self._true_knn_groups([queries], radius, k, policy)[0]
+
+    def seed_radius(
+        self, k: int, policy: ExpansionPolicy | None = None
+    ) -> float:
+        """Round-0 radius of the true-kNN schedule for this point set.
+
+        Memoized per ``(points, k, policy)``; the cache is dropped when
+        ``update_points`` moves the cloud (density changes with the
+        positions, and a stale seed would silently change the radius
+        schedule — and with it the round-by-round telemetry — after a
+        refit).
+        """
+        policy = policy or DEFAULT_POLICY
+        key = (self._points_fp, int(k), policy)
+        r0 = self._seed_cache.get(key)
+        if r0 is None:
+            r0 = seed_radius(self.points, k, policy)
+            self._seed_cache[key] = r0
+        return r0
+
     def search_fused(
         self, kind: str, query_groups, radius: float, k: int
     ) -> list[SearchResults]:
@@ -181,9 +231,20 @@ class RTNNEngine:
         :meth:`knn_search` / :meth:`range_search` with that group
         alone. The groups share one fused :class:`RunReport` (attached
         to every result).
+
+        ``kind="true_knn"`` runs the adaptive-radius loop over the
+        fused groups: every round re-launches only the still
+        unsatisfied queries of every group through one fused bounded
+        pass, so the per-group solo bit-identity guarantee carries over
+        round by round. For that kind ``radius`` is the round-0 radius
+        and may be ``None`` (density-seeded).
         """
-        if kind not in ("range", "knn"):
-            raise ValueError(f"kind must be 'range' or 'knn', got {kind!r}")
+        if kind not in ("range", "knn", "true_knn"):
+            raise ValueError(
+                f"kind must be 'range', 'knn' or 'true_knn', got {kind!r}"
+            )
+        if kind == "true_knn":
+            return self._true_knn_groups(list(query_groups), radius, k)
         return self._run_groups(kind, list(query_groups), radius, k)
 
     # ------------------------------------------------------------------
@@ -521,6 +582,144 @@ class RTNNEngine:
         ]
 
     # ------------------------------------------------------------------
+    # true kNN (adaptive radius expansion)
+    # ------------------------------------------------------------------
+    def _true_knn_groups(
+        self,
+        groups: list,
+        radius: float | None,
+        k: int,
+        policy: ExpansionPolicy | None = None,
+    ) -> list[SearchResults]:
+        """Adaptive-radius exact kNN over one or more query groups.
+
+        Round ``j`` runs one bounded kNN pass at ``r0 * growth**j``
+        over only the queries still holding fewer than ``k`` neighbors,
+        through the ordinary :meth:`_run_groups` machinery — so every
+        re-launch reuses the partition/bundle pipeline and the GAS
+        cache stays warm across rounds (round ``j+1`` rebuilds only the
+        widths it has not seen). A round whose radius reaches the
+        group's cover bound (joint AABB diagonal, with
+        :data:`COVER_SLACK` headroom for shader rounding) is
+        exhaustive: its bounded answer is exact even for queries with
+        fewer than ``k`` points in the whole cloud, which terminate
+        there with ``counts < k``.
+
+        Rows finalized in different rounds are stitched into one
+        result per group; all groups share one merged
+        :class:`RunReport` whose ``extras["true_knn"]`` records the
+        convergence trace (per-round radii, re-launch counts and
+        fractions, the seed, and whether the run converged before
+        ``policy.max_rounds``).
+        """
+        policy = policy or DEFAULT_POLICY
+        groups = [as_points(g, "queries") for g in groups]
+        k = check_positive_int(k, "k")
+        if radius is None:
+            r0 = self.seed_radius(k, policy)
+        else:
+            r0 = check_positive(radius, "radius")
+
+        if sum(len(g) for g in groups) == 0:
+            # Delegate to one bounded pass so the canonical empty-run
+            # report tail (zero partitions/bundles, same extras shape)
+            # is preserved; all results share that report.
+            results = self._run_groups("knn", groups, r0, k)
+            results[0].report.extras["true_knn"] = {
+                "seed_radius": r0,
+                "growth": policy.growth,
+                "rounds": 0,
+                "round_radii": [],
+                "relaunched": [],
+                "satisfied": [],
+                "relaunched_fraction": [],
+                "converged": True,
+            }
+            return results
+
+        covers = [cover_radius(self.points, g) for g in groups]
+        finals, rounds_info, conv = run_expansion(
+            lambda subs, r: self._run_groups("knn", subs, r, k),
+            groups,
+            k,
+            r0,
+            covers,
+            policy,
+            self.tracer,
+        )
+        report = self._merge_round_reports(
+            [ri["report"] for ri in rounds_info]
+        )
+        report.extras["true_knn"] = {
+            "seed_radius": r0,
+            "growth": policy.growth,
+            **conv,
+        }
+        return [
+            SearchResults(idx, cnt, d2, report)
+            for idx, cnt, d2 in finals
+        ]
+
+    @staticmethod
+    def _merge_round_reports(reports: list[RunReport]) -> RunReport:
+        """Fold per-round fused reports into one run-level report.
+
+        Additive fields (breakdown, IS calls, traversal steps,
+        partition/bundle/build tallies, launch extras, cache hit
+        tallies) sum across rounds. The transaction weights behind the
+        hit-rate and occupancy averages are not retained per round, so
+        multi-round reports leave them ``None``; a single-round run
+        passes its report's values through unchanged.
+        """
+        first = reports[0]
+        if len(reports) == 1:
+            return first
+        breakdown = Breakdown()
+        launch_costs: list = []
+        aabb_widths: list = []
+        bundle_sizes: list = []
+        hits = misses = 0
+        is_calls = steps = parts = bundles = builds = 0
+        for rep in reports:
+            breakdown = breakdown + rep.breakdown
+            is_calls += rep.is_calls
+            steps += rep.traversal_steps
+            parts += rep.n_partitions
+            bundles += rep.n_bundles
+            builds += rep.n_bvh_builds
+            launch_costs.extend(rep.extras.get("launch_costs", []))
+            aabb_widths.extend(rep.extras.get("aabb_widths", []))
+            bundle_sizes.extend(rep.extras.get("bundle_sizes", []))
+            cache = rep.extras.get("gas_cache", {})
+            hits += cache.get("hits", 0)
+            misses += cache.get("misses", 0)
+        extras = {
+            "launch_costs": launch_costs,
+            "aabb_widths": aabb_widths,
+            "bundle_sizes": bundle_sizes,
+            "gas_cache": {
+                "hits": hits,
+                "misses": misses,
+                "entries": reports[-1].extras.get("gas_cache", {}).get(
+                    "entries", 0
+                ),
+            },
+        }
+        return RunReport(
+            breakdown=breakdown,
+            is_calls=is_calls,
+            traversal_steps=steps,
+            n_partitions=parts,
+            n_bundles=bundles,
+            n_bvh_builds=builds,
+            l1_hit_rate=None,
+            l2_hit_rate=None,
+            sm_occupancy=None,
+            device=first.device,
+            extras=extras,
+        )
+
+    # ------------------------------------------------------------------
     # structure lifecycle
     # ------------------------------------------------------------------
     def update_points(self, points) -> float:
@@ -535,6 +734,10 @@ class RTNNEngine:
         run's ``bvh`` category.
         """
         pts = as_points(points, "points")
+        # Seed radii are density-derived: any movement of the cloud
+        # invalidates them, or a post-refit true_knn run would walk a
+        # radius schedule seeded from the old positions.
+        self._seed_cache.clear()
         if pts.shape == self.points.shape:
             self.points = pts
             self._points_fp = fingerprint_array(pts)

@@ -77,6 +77,11 @@ def _kitti(n: int, seed: int) -> np.ndarray:
 #: The ``*-tight`` families are the repeat-batch shapes: many points
 #: (heavy builds) and a tight radius (short traversals), so structure
 #: amortization — the quantity those scenarios pin — dominates.
+#: The ``*-tknn`` families run the unbounded exact-kNN expansion loop
+#: (radius ``None`` = density-seeded r0); their records additionally
+#: carry the expansion round count and a bit-identity verdict against
+#: the brute-force exact-kNN oracle, gated by
+#: :func:`check_true_knn_oracle`.
 _FAMILIES = {
     "kitti": (_kitti, 4.0, "range", 32),
     "uniform": (_uniform, 0.15, "knn", 8),
@@ -84,6 +89,8 @@ _FAMILIES = {
     "kitti-tight": (_kitti, 0.4, "range", 8),
     "uniform-tight": (_uniform, 0.02, "knn", 4),
     "clustered-tight": (_clustered, 0.002, "knn", 4),
+    "uniform-tknn": (_uniform, None, "true_knn", 16),
+    "clustered-tknn": (_clustered, None, "true_knn", 12),
 }
 
 
@@ -151,6 +158,18 @@ def smoke_suite() -> list[Scenario]:
                  variant="sched+part", parallel=4),
         Scenario(family="uniform", n_points=400, n_queries=160,
                  variant="sched+part", shards=4),
+    ] + [
+        # The unbounded exact-kNN expansion loop: baseline and optimized
+        # single-engine runs plus a sharded twin, every one gated
+        # bit-identical to the brute oracle by check_true_knn_oracle.
+        Scenario(family="uniform-tknn", n_points=400, n_queries=160,
+                 variant="noopt"),
+        Scenario(family="uniform-tknn", n_points=400, n_queries=160,
+                 variant="sched+part"),
+        Scenario(family="uniform-tknn", n_points=400, n_queries=160,
+                 variant="sched+part", shards=4),
+        Scenario(family="clustered-tknn", n_points=400, n_queries=160,
+                 variant="sched+part"),
     ]
 
 
@@ -165,6 +184,10 @@ def full_suite() -> list[Scenario]:
         Scenario(family=f, n_points=2000, n_queries=700,
                  variant="sched+part", parallel=4)
         for f in ("clustered", "uniform")
+    ] + [
+        Scenario(family=f, n_points=2000, n_queries=700,
+                 variant="sched+part")
+        for f in ("uniform-tknn", "clustered-tknn")
     ]
 
 
@@ -205,6 +228,8 @@ def run_scenario(scenario: Scenario) -> dict:
         t0 = time.perf_counter()
         if mode == "knn":
             res = engine.knn_search(queries, k=k, radius=radius)
+        elif mode == "true_knn":
+            res = engine.true_knn_search(queries, k=k, radius=radius)
         else:
             res = engine.range_search(queries, radius=radius, k=k)
         walls.append(time.perf_counter() - t0)
@@ -242,6 +267,22 @@ def run_scenario(scenario: Scenario) -> dict:
         record["wall_warm_s"] = warm
         record["warm_speedup"] = (walls[0] / warm) if warm > 0 else float("inf")
         record["gas_cache"] = cache
+    if mode == "true_knn":
+        # The expansion loop must land on the exact answer: pin the
+        # round count and compare every cell against the brute-force
+        # exact-kNN oracle (bench clouds are in generic position, so
+        # raw bit-identity holds — no k-boundary distance ties).
+        from repro.baselines.brute import brute_force_true_knn
+
+        oracle = brute_force_true_knn(points, queries, k=k)
+        tk = res.report.extras["true_knn"]
+        record["true_knn_rounds"] = int(tk["rounds"])
+        record["true_knn_converged"] = bool(tk["converged"])
+        record["oracle_identical"] = bool(
+            np.array_equal(res.indices, oracle.indices)
+            and np.array_equal(res.counts, oracle.counts)
+            and np.array_equal(res.sq_distances, oracle.sq_distances)
+        )
     return record
 
 
@@ -362,6 +403,33 @@ def check_shard_consistency(payload: dict) -> list[str]:
                     f"{name}: {key} diverged from single-engine twin "
                     f"({ref.get(key)!r} -> {rec.get(key)!r})"
                 )
+    return failures
+
+
+def check_true_knn_oracle(payload: dict) -> list[str]:
+    """Assert every true-knn scenario matched the brute exact oracle.
+
+    :func:`run_scenario` stamps ``oracle_identical`` (bit-identity of
+    indices, counts and squared distances against
+    :func:`~repro.baselines.brute.brute_force_true_knn`) and
+    ``true_knn_converged`` on every expansion scenario; a ``False``
+    either way is a correctness bug in the expansion loop, never noise.
+    """
+    failures: list[str] = []
+    for name, rec in sorted(payload.get("scenarios", {}).items()):
+        if "oracle_identical" not in rec:
+            continue
+        if not rec["oracle_identical"]:
+            failures.append(
+                f"{name}: true-knn result diverged from the brute-force "
+                f"exact-kNN oracle"
+            )
+        if not rec.get("true_knn_converged", True):
+            failures.append(
+                f"{name}: expansion hit the round budget without "
+                f"satisfying every query "
+                f"(rounds={rec.get('true_knn_rounds')!r})"
+            )
     return failures
 
 
@@ -548,6 +616,18 @@ def main(argv=None) -> int:
         status = 1
     else:
         print("bench: sharded scenarios match their single-engine twins")
+
+    tknn_failures = check_true_knn_oracle(payload)
+    if tknn_failures:
+        print(
+            f"bench: {len(tknn_failures)} true-knn oracle divergence(s):",
+            file=sys.stderr,
+        )
+        for failure in tknn_failures:
+            print(f"  FAIL {failure}", file=sys.stderr)
+        status = 1
+    else:
+        print("bench: true-knn scenarios match the brute exact-kNN oracle")
 
     if args.baseline:
         baseline_path = Path(args.baseline)

@@ -37,6 +37,7 @@ from repro.serve.loadgen import (
     shard_smoke,
     shard_spot_check,
     spot_check,
+    true_knn_smoke,
 )
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.shard import HashRing, ShardedEngine, ShardWorker
@@ -75,4 +76,5 @@ __all__ = [
     "HashRing",
     "shard_smoke",
     "shard_spot_check",
+    "true_knn_smoke",
 ]

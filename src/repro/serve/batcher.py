@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.serve.queue import SearchRequest
+from repro.utils.validate import as_points
 
 
 @dataclass
@@ -33,6 +34,16 @@ class MicroBatch:
     def __post_init__(self):
         if not self.requests:
             raise ValueError("a MicroBatch needs at least one request")
+        # The padding/bit-identity contract is stated over float64
+        # C-contiguous queries. The service front door normalizes at
+        # submit(), but a batch can also be built directly — coerce
+        # here so two requests differing only in query dtype (float32
+        # vs float64) can never ride one fused pass un-normalized: the
+        # upcast happens explicitly, per request, exactly as a solo
+        # call's own as_points would do it (float32 -> float64 is
+        # value-exact, so solo bit-identity is preserved).
+        for req in self.requests:
+            req.queries = as_points(req.queries, "queries")
         key = self.requests[0].compat_key()
         for req in self.requests[1:]:
             if req.compat_key() != key:

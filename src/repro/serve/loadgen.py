@@ -182,6 +182,10 @@ async def spot_check(
         solo = RTNNEngine(points, device=engine.device, config=engine.config)
         if spec.mode == "knn":
             direct = solo.knn_search(g, k=spec.k, radius=spec.radius)
+        elif spec.mode == "true_knn":
+            # The service used spec.radius as the round-0 radius, so
+            # the direct run must seed the identical schedule.
+            direct = solo.true_knn_search(g, k=spec.k, radius=spec.radius)
         else:
             direct = solo.range_search(g, radius=spec.radius, k=spec.k)
         assert np.array_equal(res.indices, direct.indices), (
@@ -303,6 +307,106 @@ async def shard_spot_check(
                 )
                 checked += 1
     return checked
+
+
+async def true_knn_smoke(
+    points: np.ndarray,
+    spec: LoadSpec,
+    shards: int = 4,
+    n_requests: int = 4,
+    max_rounds: int = 12,
+    replication: int = 2,
+) -> dict:
+    """The ``true-knn-smoke`` gate: unbounded-kNN identity matrix.
+
+    For each engine config in {full, noopt}, the same seeded query
+    groups are served as ``true_knn`` (density-seeded radius) by a
+    1-shard service and a ``shards``-shard service, and run directly
+    through a solo engine. Asserts, per cell:
+
+    * served answers (both topologies), the solo engine, and the
+      brute-force unbounded oracle are all bit-identical
+      (indices, counts, squared distances);
+    * the expansion converged within ``max_rounds`` rounds, on the
+      solo run and on every served batch;
+    * only unsatisfied queries re-launch: each round's launch count
+      equals the previous round's launches minus its satisfied count
+      (asserted on the solo convergence counters and on the served
+      batch counters — the recurrence holds for fused batches too);
+    * solo and sharded runs walk the same radius schedule (the solo
+      run's per-round radii are a prefix of any fused batch's).
+
+    Returns the gate summary dict (what the CLI prints as JSON).
+    """
+    from repro.baselines.brute import brute_force_true_knn
+
+    def check_relaunch_counters(tk: dict, tag: str) -> None:
+        assert tk["converged"], f"{tag}: expansion did not converge"
+        assert tk["rounds"] <= max_rounds, (
+            f"{tag}: {tk['rounds']} rounds exceeds the {max_rounds} gate"
+        )
+        for j in range(1, tk["rounds"]):
+            expect = tk["relaunched"][j - 1] - tk["satisfied"][j - 1]
+            assert tk["relaunched"][j] == expect, (
+                f"{tag}: round {j} launched {tk['relaunched'][j]} queries, "
+                f"expected exactly the {expect} still unsatisfied"
+            )
+        assert sum(tk["satisfied"]) == tk["relaunched"][0], (
+            f"{tag}: satisfied counts do not account for every query"
+        )
+
+    configs = {"full": RTNNConfig(), "noopt": VARIANTS["noopt"]}
+    groups = _probe_groups(points, spec, n_requests, salt=999)
+    oracles = [brute_force_true_knn(points, g, k=spec.k) for g in groups]
+    cells = 0
+    max_rounds_seen = 0
+    for cfg_name, cfg in configs.items():
+        solo = RTNNEngine(points, config=cfg)
+        served: dict[int, list] = {}
+        for n in (1, shards):
+            service = SearchService(
+                ShardedEngine(
+                    points, n_shards=n, replication=replication, config=cfg
+                )
+            )
+            async with service:
+                served[n] = await asyncio.gather(
+                    *(
+                        service.submit("true_knn", g, k=spec.k)
+                        for g in groups
+                    )
+                )
+        for i, g in enumerate(groups):
+            tag = f"true-knn-smoke {cfg_name} request {i}"
+            direct = solo.true_knn_search(g, k=spec.k)
+            tk = direct.report.extras["true_knn"]
+            check_relaunch_counters(tk, f"{tag} (solo)")
+            max_rounds_seen = max(max_rounds_seen, tk["rounds"])
+            for n in (1, shards):
+                res = served[n][i]
+                assert not res.degraded, f"{tag}: served degraded ({n} shards)"
+                for fld in ("indices", "counts", "sq_distances"):
+                    got = getattr(res, fld)
+                    assert np.array_equal(got, getattr(direct, fld)), (
+                        f"{tag}: {fld} diverge from solo engine ({n} shards)"
+                    )
+                    assert np.array_equal(got, getattr(oracles[i], fld)), (
+                        f"{tag}: {fld} diverge from brute oracle ({n} shards)"
+                    )
+                stk = res.results.report.extras["true_knn"]
+                check_relaunch_counters(stk, f"{tag} ({n} shards, batch)")
+                prefix = stk["round_radii"][: tk["rounds"]]
+                assert prefix == tk["round_radii"], (
+                    f"{tag}: radius schedule diverges at {n} shards"
+                )
+            cells += 1
+    return {
+        "shards": shards,
+        "k": spec.k,
+        "identity_cells_checked": cells,
+        "max_rounds_seen": max_rounds_seen,
+        "max_rounds_gate": max_rounds,
+    }
 
 
 async def shard_smoke(

@@ -55,7 +55,7 @@ class SearchRequest:
     """
 
     rid: int
-    kind: str                   # "knn" | "range"
+    kind: str                   # "knn" | "range" | "true_knn"
     queries: object             # (N, d) float64 array
     k: int
     radius: float

@@ -37,7 +37,11 @@ import asyncio
 import time
 from dataclasses import dataclass
 
-from repro.baselines.brute import brute_force_knn, brute_force_range
+from repro.baselines.brute import (
+    brute_force_knn,
+    brute_force_range,
+    brute_force_true_knn,
+)
 from repro.core.results import SearchResults
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.serve.batcher import MicroBatch, execute_batch
@@ -239,10 +243,15 @@ class SearchService:
         queries,
         *,
         k: int,
-        radius: float,
+        radius: float | None = None,
         deadline_s: float | None = None,
     ) -> ServeResult:
         """Enqueue one search request; resolves when it is served.
+
+        ``kind="true_knn"`` serves exact unbounded kNN; its ``radius``
+        is the round-0 radius of the expansion schedule and may be
+        omitted (density-seeded). For ``knn``/``range`` the radius is
+        required.
 
         Raises :class:`AdmissionError` immediately when the queue is
         full, :class:`DeadlineExpired` if ``deadline_s`` elapses before
@@ -250,11 +259,22 @@ class SearchService:
         service shuts down without draining. Cancelling the awaitable
         withdraws the request.
         """
-        if kind not in ("knn", "range"):
-            raise ValueError(f"kind must be 'knn' or 'range', got {kind!r}")
+        if kind not in ("knn", "range", "true_knn"):
+            raise ValueError(
+                f"kind must be 'knn', 'range' or 'true_knn', got {kind!r}"
+            )
         queries = as_points(queries, "queries")
         k = check_positive_int(k, "k")
-        radius = check_positive(radius, "radius")
+        if radius is None:
+            if kind != "true_knn":
+                raise ValueError(f"radius is required for kind {kind!r}")
+            # Resolve the density seed up front so the compatibility
+            # key stays a concrete float: equal-k true-kNN requests
+            # land on the same key and keep fusing, and the batcher
+            # never has to reason about a None radius.
+            radius = self.engine.seed_radius(k)
+        else:
+            radius = check_positive(radius, "radius")
         if not self._running or self._stopping:
             raise ServiceStopped("service is not running")
         now = self._clock()
@@ -455,6 +475,12 @@ class SearchService:
             if req.kind == "knn":
                 out.append(
                     brute_force_knn(points, req.queries, k=req.k, radius=req.radius)
+                )
+            elif req.kind == "true_knn":
+                # unbounded: the request's radius is only the round-0
+                # seed, irrelevant to the exact answer
+                out.append(
+                    brute_force_true_knn(points, req.queries, k=req.k)
                 )
             else:
                 out.append(

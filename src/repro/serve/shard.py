@@ -65,6 +65,13 @@ import numpy as np
 
 from repro.core.cache import fingerprint_array
 from repro.core.engine import RTNNConfig, RTNNEngine
+from repro.core.expansion import (
+    DEFAULT_POLICY,
+    ExpansionPolicy,
+    cover_radius,
+    run_expansion,
+    seed_radius,
+)
 from repro.core.partition import SpatialShard, make_spatial_shards
 from repro.core.results import RunReport, SearchResults, empty_results
 from repro.gpu.device import DeviceSpec, RTX_2080
@@ -272,6 +279,8 @@ class ShardedEngine:
             )
             for wid in range(self.n_workers)
         ]
+        # memoized true-kNN seed radii (same contract as the engine's)
+        self._seed_cache: dict = {}
         # scatter-gather tallies (mutated only on the calling thread)
         self.failovers = 0
         self.brute_fallbacks = 0
@@ -318,6 +327,7 @@ class ShardedEngine:
         """
         self.points = as_points(points, "points")
         self._points_fp = fingerprint_array(self.points)
+        self._seed_cache.clear()
         self.shards = make_spatial_shards(self.points, self._requested_shards)
         self.preference = self._assign_shards()
         for worker in self.workers:
@@ -372,6 +382,34 @@ class ShardedEngine:
         """Up to ``k`` within ``radius`` (canonical order), scatter-gathered."""
         return self.search_fused("range", [queries], radius=radius, k=k)[0]
 
+    def true_knn_search(
+        self,
+        queries,
+        k: int,
+        radius: float | None = None,
+        policy: ExpansionPolicy | None = None,
+    ) -> SearchResults:
+        """Exact unbounded kNN, scatter-gathered round by round."""
+        return self._true_knn_fused([queries], radius, k, policy)[0]
+
+    def seed_radius(
+        self, k: int, policy: ExpansionPolicy | None = None
+    ) -> float:
+        """Round-0 radius of the true-kNN schedule for the full cloud.
+
+        Computed over the *unsharded* point set with the same shared
+        estimator the single engine uses, so the sharded topology walks
+        the identical radius schedule — the basis of its bit-identity
+        with one engine. Memoized; invalidated on ``update_points``.
+        """
+        policy = policy or DEFAULT_POLICY
+        key = (self._points_fp, int(k), policy)
+        r0 = self._seed_cache.get(key)
+        if r0 is None:
+            r0 = seed_radius(self.points, k, policy)
+            self._seed_cache[key] = r0
+        return r0
+
     def search_fused(
         self, kind: str, query_groups, radius: float, k: int
     ) -> list[SearchResults]:
@@ -381,13 +419,29 @@ class ShardedEngine:
         ``(sq_distance, index)`` order, all sharing one fused
         :class:`RunReport` whose ``extras["shard"]`` records the
         scatter (fan-out, failovers, per-group degradation flags).
+
+        ``kind="true_knn"`` runs the adaptive-expansion loop with one
+        scatter-gather pass per round; the per-shard AABB pruning of
+        every round's scatter is recomputed at that round's expanded
+        radius, so boundary queries fan out to exactly the shards the
+        grown ball can reach. ``radius`` is then the round-0 radius and
+        may be ``None`` (density-seeded from the full cloud).
         """
-        if kind not in ("range", "knn"):
-            raise ValueError(f"kind must be 'range' or 'knn', got {kind!r}")
+        if kind not in ("range", "knn", "true_knn"):
+            raise ValueError(
+                f"kind must be 'range', 'knn' or 'true_knn', got {kind!r}"
+            )
+        if kind == "true_knn":
+            return self._true_knn_fused(list(query_groups), radius, k)
         groups = [as_points(g, "queries") for g in query_groups]
         radius = check_positive(radius, "radius")
         k = check_positive_int(k, "k")
+        return self._fused_pass(kind, groups, radius, k)
 
+    def _fused_pass(
+        self, kind: str, groups: list, radius: float, k: int
+    ) -> list[SearchResults]:
+        """One validated bounded scatter-gather pass (``knn``/``range``)."""
         plans = self._scatter_plans(groups, radius)
         calls = self._build_calls(groups, plans)
         routes, failover_delta = self._route(calls)
@@ -418,6 +472,124 @@ class ShardedEngine:
         for res in results:
             res.report = report
         return results
+
+    # ------------------------------------------------------------------
+    # true kNN (adaptive radius expansion over the shards)
+    # ------------------------------------------------------------------
+    def _true_knn_fused(
+        self,
+        groups: list,
+        radius: float | None,
+        k: int,
+        policy: ExpansionPolicy | None = None,
+    ) -> list[SearchResults]:
+        """The shared expansion loop with scatter-gather bounded rounds.
+
+        Identical control flow to the single engine's
+        (:func:`repro.core.expansion.run_expansion` drives both): the
+        seed comes from the full unsharded cloud, the cover bounds from
+        the same joint AABBs, and each round's bounded pass is the
+        scatter-gather ``knn`` — which PR 7 pinned bit-identical to the
+        single engine. The per-round scatter calls
+        :meth:`overlap_mask` at that round's radius, so AABB pruning
+        re-expands with the ball.
+        """
+        policy = policy or DEFAULT_POLICY
+        groups = [as_points(g, "queries") for g in groups]
+        k = check_positive_int(k, "k")
+        if radius is None:
+            r0 = self.seed_radius(k, policy)
+        else:
+            r0 = check_positive(radius, "radius")
+        if sum(len(g) for g in groups) == 0:
+            results = self._fused_pass("knn", groups, r0, k)
+            results[0].report.extras["true_knn"] = {
+                "seed_radius": r0,
+                "growth": policy.growth,
+                "rounds": 0,
+                "round_radii": [],
+                "relaunched": [],
+                "satisfied": [],
+                "relaunched_fraction": [],
+                "converged": True,
+            }
+            return results
+        covers = [cover_radius(self.points, g) for g in groups]
+        finals, rounds_info, conv = run_expansion(
+            lambda subs, r: self._fused_pass("knn", subs, r, k),
+            groups,
+            k,
+            r0,
+            covers,
+            policy,
+            self.tracer,
+        )
+        report = self._merge_round_reports(groups, rounds_info)
+        report.extras["true_knn"] = {
+            "seed_radius": r0,
+            "growth": policy.growth,
+            **conv,
+        }
+        return [
+            SearchResults(idx, cnt, d2, report)
+            for idx, cnt, d2 in finals
+        ]
+
+    def _merge_round_reports(
+        self, groups: list, rounds_info: list[dict]
+    ) -> RunReport:
+        """Fold per-round scatter-gather reports into one run report.
+
+        Additive fields and shard tallies sum across rounds; the
+        per-group ``degraded_groups`` flags are mapped from each
+        round's live-group indexing back to the global group order and
+        OR-ed (a group is degraded if any of its rounds touched a
+        brute-served shard).
+        """
+        n_groups = len(groups)
+        if len(rounds_info) == 1 and rounds_info[0]["live"] == list(
+            range(n_groups)
+        ):
+            return rounds_info[0]["report"]
+        breakdown = Breakdown()
+        is_calls = steps = parts = bundles = builds = 0
+        sub_launches = brute_shards = failovers = 0
+        degraded = [False] * n_groups
+        for ri in rounds_info:
+            rep = ri["report"]
+            breakdown = breakdown + rep.breakdown
+            is_calls += rep.is_calls
+            steps += rep.traversal_steps
+            parts += rep.n_partitions
+            bundles += rep.n_bundles
+            builds += rep.n_bvh_builds
+            sh = rep.extras["shard"]
+            sub_launches += sh["sub_launches"]
+            brute_shards += sh["brute_shards"]
+            failovers += sh["failovers"]
+            for li, gi in enumerate(ri["live"]):
+                degraded[gi] = degraded[gi] or sh["degraded_groups"][li]
+        return RunReport(
+            breakdown=breakdown,
+            is_calls=is_calls,
+            traversal_steps=steps,
+            n_partitions=parts,
+            n_bundles=bundles,
+            n_bvh_builds=builds,
+            device=self.device.name,
+            extras={
+                "shard": {
+                    "n_shards": self.n_shards,
+                    "n_workers": self.n_workers,
+                    "sub_launches": sub_launches,
+                    "brute_shards": brute_shards,
+                    "failovers": failovers,
+                    "degraded_groups": degraded,
+                    "group_sizes": [len(g) for g in groups],
+                    "makespan_s": self.modeled_makespan_s,
+                },
+            },
+        )
 
     # ------------------------------------------------------------------
     # scatter

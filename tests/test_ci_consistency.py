@@ -118,3 +118,13 @@ def test_shard_smoke_gate_is_wired():
     make_text = MAKEFILE.read_text()
     assert "--shard-smoke" in make_text
     assert "--min-scaling 2.5" in make_text
+
+
+def test_true_knn_smoke_gate_is_wired():
+    assert "true-knn-smoke" in _ci_prerequisites()
+    assert "true-knn-smoke" in _job_names()
+    make_text = MAKEFILE.read_text()
+    assert "--true-knn-smoke" in make_text
+    assert "--mode true-knn" in make_text
+    assert "--max-rounds 12" in make_text
+    assert "--shards 4" in make_text

@@ -105,6 +105,65 @@ def test_search_invalid_scalars_exit_2(tmp_path, capsys):
         assert needle in capsys.readouterr().err
 
 
+def test_search_and_serve_share_one_validation_contract(tmp_path, capsys):
+    # Satellite of the true-knn PR: k=0, radius=0.0 and negative radius
+    # must exit 2 with one line on stderr naming the flag, identically
+    # for `repro search` and `repro serve` (repro.api and the engine
+    # raise the matching ValueError — see test_true_knn.py).
+    pts = np.random.default_rng(0).random((50, 3))
+    f = tmp_path / "c.ply"
+    write_ply(f, pts)
+    cases = [
+        (["-k", "0"], "-k"),
+        (["-r", "0.0"], "--radius"),
+        (["-r", "-0.5"], "--radius"),
+    ]
+    for command in ("search", "serve"):
+        for extra, needle in cases:
+            with pytest.raises(SystemExit) as ei:
+                main([command, "--points", str(f), *extra])
+            assert ei.value.code == 2, (command, extra)
+            err = capsys.readouterr().err
+            assert err.startswith("repro: error:"), (command, extra)
+            assert needle in err, (command, extra)
+            assert err.count("\n") == 1, (command, extra)
+
+
+def test_search_true_knn_mode(tmp_path, capsys):
+    pts = np.random.default_rng(3).random((250, 3))
+    f = tmp_path / "c.ply"
+    write_ply(f, pts)
+    out_npz = tmp_path / "res.npz"
+    assert main(["search", "--points", str(f), "--mode", "true-knn",
+                 "-k", "5", "--out", str(out_npz)]) == 0
+    out = capsys.readouterr().out
+    assert "true-knn search" in out
+    assert "r0=" in out and "(seeded)" in out
+    assert "expansion:" in out and "converged" in out
+    data = np.load(out_npz)
+    # Unbounded exact kNN over n > k points: every row is full.
+    assert (np.sort(data["counts"]) == 5).all()
+    assert (data["indices"] >= 0).all()
+
+
+def test_serve_true_knn_smoke_requires_shards(capsys):
+    with pytest.raises(SystemExit) as ei:
+        main(["serve", "--dataset", "Bunny-360K", "--scale", "0.03",
+              "--true-knn-smoke"])
+    assert ei.value.code == 2
+    assert "--shards" in capsys.readouterr().err
+
+
+def test_serve_true_knn_smoke_gate(capsys):
+    assert main(["serve", "--dataset", "Bunny-360K", "--scale", "0.05",
+                 "--mode", "true-knn", "-k", "6", "--seed", "0",
+                 "--shards", "4", "--true-knn-smoke",
+                 "--max-rounds", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "true-knn-smoke ok" in out
+    assert "brute oracle" in out
+
+
 def test_serve_rejects_nonpositive_load(capsys):
     with pytest.raises(SystemExit) as ei:
         main(["serve", "--dataset", "Bunny-360K", "--scale", "0.03",

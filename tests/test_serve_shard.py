@@ -173,6 +173,49 @@ def test_sharded_run_is_deterministic(world):
     _assert_rows_equal(a, b, "repeat run")
 
 
+def test_merge_underfilled_rows_never_interleaves_padding():
+    # Regression: a query with fewer than k in-radius neighbors, split
+    # 1 + 1 across two shards, must merge into [real, real, -1, -1] —
+    # the inf/-1 padding of each under-filled per-shard row must sink
+    # below every real hit, and the merged count must be the clamped
+    # sum of the per-shard counts.
+    rng = default_rng(23)
+    left = 0.2 + 0.05 * rng.random((12, 3))
+    right = 0.8 - 0.05 * rng.random((12, 3))
+    bridge = np.array([[0.45, 0.5, 0.5], [0.55, 0.5, 0.5]])
+    points = np.vstack([left, right, bridge])
+    a, b = len(points) - 2, len(points) - 1
+    query = np.array([[0.5, 0.5, 0.5]])
+
+    sh = ShardedEngine(points, n_shards=2)
+    # The bridge points straddle the spatial split: one per shard.
+    shard_of = {
+        gi: sid
+        for sid, shard in enumerate(sh.shards)
+        for gi in (a, b)
+        if gi in shard.point_ids
+    }
+    assert shard_of[a] != shard_of[b], "bridge points must be split 1+1"
+
+    for kind in ("knn", "range"):
+        res = (
+            sh.knn_search(query, k=4, radius=0.08)
+            if kind == "knn"
+            else sh.range_search(query, radius=0.08, k=4)
+        )
+        assert res.counts[0] == 2, kind  # 1 + 1, clamped sum
+        assert sorted(res.indices[0, :2].tolist()) == [a, b], kind
+        assert (res.indices[0, 2:] == -1).all(), kind
+        assert np.isfinite(res.sq_distances[0, :2]).all(), kind
+        assert np.isinf(res.sq_distances[0, 2:]).all(), kind
+        solo = (
+            RTNNEngine(points).knn_search(query, k=4, radius=0.08)
+            if kind == "knn"
+            else RTNNEngine(points).range_search(query, radius=0.08, k=4)
+        )
+        _assert_rows_equal(res, solo, f"underfilled {kind}")
+
+
 def test_merge_breaks_distance_ties_by_index():
     # Two points exactly mirrored about the query (coordinates exact in
     # binary, so the squared distances are bitwise equal): canonical
