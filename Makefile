@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-concurrency analyze baseline bench bench-smoke serve-smoke serve-shard-smoke true-knn-smoke profile trace-demo ci
+.PHONY: test lint lint-concurrency analyze baseline bench bench-smoke serve-smoke serve-shard-smoke true-knn-smoke backend-smoke profile trace-demo ci
 
 # Extra pytest arguments ride in PYTEST_FLAGS (CI passes --junitxml=...).
 test:
@@ -66,6 +66,15 @@ true-knn-smoke:
 	  --mode true-knn -k 8 --seed 0 --shards 4 --true-knn-smoke \
 	  --max-rounds 12
 
+# Backend seam gate: compiled-backend (/nb) twins must be bit-identical
+# to the NumPy reference kernels — results, counters AND modeled time —
+# and budgeted (/bN) twins bounded by their exact twins. Runs against
+# whatever backends are importable: with numba installed it exercises
+# the JIT kernels, without it the graceful fallback; both must pass
+# (CI runs both matrix legs).
+backend-smoke:
+	$(PYTHON) -m repro.obs.bench --backend-check
+
 # cProfile the fully-optimized large scenario (override with
 # PROFILE_SCENARIO=<name> to pick another suite entry).
 profile:
@@ -78,4 +87,4 @@ trace-demo:
 # Everything CI gates on, in the same order as .github/workflows/ci.yml
 # runs its jobs; tests/test_ci_consistency.py cross-checks the two so
 # they cannot drift.
-ci: test analyze lint-concurrency bench-smoke serve-smoke serve-shard-smoke true-knn-smoke
+ci: test analyze lint-concurrency bench-smoke serve-smoke serve-shard-smoke true-knn-smoke backend-smoke

@@ -1,0 +1,146 @@
+"""Pluggable hot-path kernel backends.
+
+The traversal engine and the IS shaders spend their time in three tiny
+numeric kernels: pair squared distances, origin-in-AABB tests, and
+point-to-AABB squared-distance bounds (the leaf MBR pruning tests). A
+:class:`Backend` packages one implementation of each behind a narrow
+seam, so a compiled implementation can replace the NumPy inner loops
+without touching the algorithm.
+
+Two backends are registered:
+
+* ``numpy`` — the reference implementation (:mod:`repro.backend.numpy_ref`).
+  It *is* the oracle: every other backend must be bit-identical to it
+  (asserted by ``make backend-smoke`` and the bench ``/nb`` twins).
+* ``numba`` — JIT-compiled kernels (:mod:`repro.backend.numba_jit`),
+  a feature flag: when numba is not installed, :func:`resolve_backend`
+  degrades gracefully to the NumPy kernels (``is_fallback=True``) with
+  a one-time warning instead of failing, so configs and bench records
+  naming ``backend="numba"`` stay valid everywhere.
+
+Bit-identity holds because every implementation performs the *same*
+float64 operations in the same order (subtract, then ``d0*d0 + d1*d1 +
+d2*d2`` accumulated left to right — exactly what
+``np.einsum("ij,ij->i", d, d)`` does for 3 columns). That contract is
+what lets pruned/budgeted/compiled paths share one set of committed
+result checksums.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from dataclasses import dataclass
+
+from repro.backend import numpy_ref
+
+#: canonical backend names, in registry order
+BACKEND_NAMES = ("numpy", "numba")
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One implementation of the hot-path kernels.
+
+    Attributes
+    ----------
+    name:
+        The *requested* name (``"numba"`` even when running on the
+        fallback kernels, so configs round-trip).
+    is_fallback:
+        True when the requested backend is unavailable and the NumPy
+        reference kernels are standing in.
+    sq_dist:
+        ``(diff (n,3) float64, out (n,) float64) -> (n,) float64`` —
+        row-wise squared norm of already-subtracted pair differences,
+        written into ``out``.
+    points_in_boxes:
+        ``(pts, lo, hi) -> (n,) bool`` — closed-box containment,
+        row-wise (the short-ray primitive AABB test).
+    box_sq_dists:
+        ``(pts, lo, hi) -> (min_d2, max_d2)`` — squared Euclidean
+        lower/upper bounds from each point to its (closed) box: the
+        min/max-dist² of leaf MBR pruning.
+    """
+
+    name: str
+    is_fallback: bool
+    sq_dist: object
+    points_in_boxes: object
+    box_sq_dists: object
+
+
+#: the reference backend (module-level singleton: backends are stateless)
+NUMPY_BACKEND = Backend(
+    name="numpy",
+    is_fallback=False,
+    sq_dist=numpy_ref.sq_dist,
+    points_in_boxes=numpy_ref.points_in_boxes,
+    box_sq_dists=numpy_ref.box_sq_dists,
+)
+
+def numba_available() -> bool:
+    """Is the compiled backend importable in this environment?"""
+    from repro.backend import numba_jit
+
+    return numba_jit.NUMBA_AVAILABLE
+
+
+def available_backends() -> list[str]:
+    """Backends that run *natively* here (``numba`` only if installed)."""
+    names = ["numpy"]
+    if numba_available():
+        names.append("numba")
+    return names
+
+
+def resolve_backend(name: str | None) -> Backend:
+    """Resolve a config/CLI backend name to kernel implementations.
+
+    ``None`` and ``"numpy"`` return the reference backend. ``"numba"``
+    returns the JIT kernels when numba is importable and otherwise
+    *falls back* to the reference kernels (``is_fallback=True``,
+    one-time :class:`RuntimeWarning`) — results are bit-identical
+    either way, only wall-clock differs. Unknown names raise
+    ``ValueError``.
+    """
+    if name is None or name == "numpy":
+        return NUMPY_BACKEND
+    if name != "numba":
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    return _numba_backend()
+
+
+@functools.lru_cache(maxsize=1)
+def _numba_backend() -> Backend:
+    """Build (once) the numba backend, or its warned NumPy fallback.
+
+    The ``lru_cache`` doubles as the one-time-warning latch: the
+    fallback warning fires on the first resolve only.
+    """
+    from repro.backend import numba_jit
+
+    if numba_jit.NUMBA_AVAILABLE:
+        return Backend(
+            name="numba",
+            is_fallback=False,
+            sq_dist=numba_jit.sq_dist,
+            points_in_boxes=numba_jit.points_in_boxes,
+            box_sq_dists=numba_jit.box_sq_dists,
+        )
+    warnings.warn(
+        "backend 'numba' requested but numba is not installed; "
+        "falling back to the NumPy reference kernels "
+        "(results are identical, wall-clock speedup is lost)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return Backend(
+        name="numba",
+        is_fallback=True,
+        sq_dist=numpy_ref.sq_dist,
+        points_in_boxes=numpy_ref.points_in_boxes,
+        box_sq_dists=numpy_ref.box_sq_dists,
+    )

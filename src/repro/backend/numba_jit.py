@@ -1,0 +1,97 @@
+"""JIT-compiled hot-path kernels (optional ``numba`` feature flag).
+
+The kernels mirror :mod:`repro.backend.numpy_ref` operation for
+operation: per row, float64 subtractions/max's followed by a
+left-to-right ``d0*d0 + d1*d1 + d2*d2`` accumulation — the same order
+``np.einsum("ij,ij->i")`` uses for three columns — so results are
+bit-identical to the reference backend (asserted by the bench ``/nb``
+twins and ``make backend-smoke``).
+
+When numba is not installed this module still imports cleanly with
+``NUMBA_AVAILABLE = False`` and no kernel symbols;
+:func:`repro.backend.resolve_backend` then falls back to the reference
+kernels with a warning instead of failing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # feature flag: the container may not ship numba
+    import numba
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - exercised on numba-less installs
+    numba = None
+    NUMBA_AVAILABLE = False
+
+
+if NUMBA_AVAILABLE:
+
+    @numba.njit(cache=True)
+    def _sq_dist_kernel(diff, out):  # pragma: no cover - compiled
+        for i in range(diff.shape[0]):
+            acc = 0.0
+            for j in range(3):
+                d = diff[i, j]
+                acc = acc + d * d
+            out[i] = acc
+        return out
+
+    @numba.njit(cache=True)
+    def _in_boxes_kernel(pts, lo, hi, out):  # pragma: no cover - compiled
+        for i in range(pts.shape[0]):
+            inside = True
+            for j in range(3):
+                p = pts[i, j]
+                if p < lo[i, j] or p > hi[i, j]:
+                    inside = False
+                    break
+            out[i] = inside
+        return out
+
+    @numba.njit(cache=True)
+    def _box_sq_dists_kernel(pts, lo, hi, min_out, max_out):
+        # pragma: no cover - compiled
+        for i in range(pts.shape[0]):
+            near_acc = 0.0
+            far_acc = 0.0
+            for j in range(3):
+                p = pts[i, j]
+                gap = lo[i, j] - p
+                over = p - hi[i, j]
+                near = gap if gap > over else over
+                if near < 0.0:
+                    near = 0.0
+                a = p - lo[i, j]
+                b = hi[i, j] - p
+                far = a if a > b else b
+                near_acc = near_acc + near * near
+                far_acc = far_acc + far * far
+            min_out[i] = near_acc
+            max_out[i] = far_acc
+        return min_out, max_out
+
+    def sq_dist(diff, out=None):
+        """Row-wise squared norm; see :func:`numpy_ref.sq_dist`."""
+        diff = np.ascontiguousarray(diff, dtype=np.float64)
+        if out is None:
+            out = np.empty(len(diff), dtype=np.float64)
+        return _sq_dist_kernel(diff, out)
+
+    def points_in_boxes(pts, lo, hi):
+        """Closed-box containment; see :func:`numpy_ref.points_in_boxes`."""
+        pts = np.ascontiguousarray(pts, dtype=np.float64)
+        lo = np.ascontiguousarray(np.broadcast_to(lo, pts.shape), dtype=np.float64)
+        hi = np.ascontiguousarray(np.broadcast_to(hi, pts.shape), dtype=np.float64)
+        out = np.empty(len(pts), dtype=np.bool_)
+        return _in_boxes_kernel(pts, lo, hi, out)
+
+    def box_sq_dists(pts, lo, hi):
+        """Point-to-box distance bounds; see :func:`numpy_ref.box_sq_dists`."""
+        pts = np.ascontiguousarray(pts, dtype=np.float64)
+        lo = np.ascontiguousarray(lo, dtype=np.float64)
+        hi = np.ascontiguousarray(hi, dtype=np.float64)
+        min_out = np.empty(len(pts), dtype=np.float64)
+        max_out = np.empty(len(pts), dtype=np.float64)
+        return _box_sq_dists_kernel(pts, lo, hi, min_out, max_out)

@@ -1,0 +1,50 @@
+"""The NumPy reference kernels — the backend oracle.
+
+Every other backend must reproduce these bit-for-bit (same float64
+operations, same accumulation order); see :mod:`repro.backend`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sq_dist(diff: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Row-wise squared norm of ``diff`` ``(n, 3)``.
+
+    ``einsum("ij,ij->i")`` accumulates the three products left to
+    right — the op-order contract compiled backends must match.
+    """
+    if out is None:
+        return np.einsum("ij,ij->i", diff, diff)
+    return np.einsum("ij,ij->i", diff, diff, out=out)
+
+
+def points_in_boxes(
+    pts: np.ndarray, lo: np.ndarray, hi: np.ndarray
+) -> np.ndarray:
+    """Closed-box containment of ``pts`` in boxes ``(lo, hi)``, row-wise.
+
+    Exactly the origin-inside condition of
+    :func:`repro.geometry.aabb.ray_aabb_intersect`'s short-ray fast
+    path (boundary points count as inside).
+    """
+    return np.logical_and(pts >= lo, pts <= hi).all(axis=-1)
+
+
+def box_sq_dists(
+    pts: np.ndarray, lo: np.ndarray, hi: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Squared Euclidean lower/upper bounds from points to closed boxes.
+
+    Per axis, the nearest box point is at gap
+    ``max(lo - p, p - hi, 0)`` and the farthest corner at
+    ``max(p - lo, hi - p)``; summing squares over the axes gives
+    ``min_d2`` (0 inside the box) and ``max_d2``. The accumulation is
+    the same ``einsum`` reduction as :func:`sq_dist`.
+    """
+    near = np.maximum(np.maximum(lo - pts, pts - hi), 0.0)
+    far = np.maximum(pts - lo, hi - pts)
+    min_d2 = np.einsum("ij,ij->i", near, near)
+    max_d2 = np.einsum("ij,ij->i", far, far)
+    return min_d2, max_d2

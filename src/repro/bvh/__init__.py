@@ -13,7 +13,7 @@ inside OptiX/RT cores:
 
 from repro.bvh.node import BVH
 from repro.bvh.build import build_lbvh, build_median_split
-from repro.bvh.traverse import trace_batch, TraceResult
+from repro.bvh.traverse import trace_batch, PruneSpec, TraceResult
 from repro.bvh.refit import refit_bvh
 from repro.bvh.serialize import save_bvh, load_bvh
 from repro.bvh.stats import tree_stats, validate_bvh
@@ -23,6 +23,7 @@ __all__ = [
     "build_lbvh",
     "build_median_split",
     "trace_batch",
+    "PruneSpec",
     "TraceResult",
     "refit_bvh",
     "save_bvh",

@@ -35,6 +35,9 @@ def refit_bvh(bvh: BVH, prim_lo: np.ndarray, prim_hi: np.ndarray) -> None:
         raise ValueError("inverted primitive AABBs (hi < lo)")
     bvh.prim_lo = prim_lo
     bvh.prim_hi = prim_hi
+    # Cached leaf point-MBRs are position-derived; every refit moves the
+    # primitives, so stale MBRs would make distance pruning unsound.
+    bvh.invalidate_leaf_mbrs()
 
     slo = prim_lo[bvh.prim_order]
     shi = prim_hi[bvh.prim_order]

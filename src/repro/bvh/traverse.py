@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import NUMPY_BACKEND, Backend
 from repro.bvh.node import BVH
 from repro.geometry.aabb import ray_aabb_intersect
 
@@ -54,6 +55,46 @@ def _warp_max(values: np.ndarray, warp_size: int) -> np.ndarray:
     return padded.reshape(n_warps, warp_size).max(axis=1)
 
 
+@dataclass(frozen=True)
+class PruneSpec:
+    """Leaf MBR distance-pruning bounds for one launch.
+
+    The traversal skips a hit leaf outright when the squared Euclidean
+    distance from the ray origin to the leaf's *tight point MBR*
+    exceeds every bound under which the launch's shader could accept a
+    member point:
+
+    * ``static_t2`` — the launch-constant bound. Any accepted point
+      must pass the primitive AABB test (``L∞ <= half_width``, hence
+      ``d² <= 3·half_width²``), and when the shader applies the sphere
+      test also ``d² <= r²``; ``static_t2`` is the minimum of the
+      applicable bounds, so ``min_d2 > static_t2`` proves no member
+      point can be accepted (or even reach the shader).
+    * ``worst`` — optional per-query dynamic bound (the KNN queue's
+      current worst-kept distance, ``+inf`` until a queue fills). The
+      queue only improves on ``d² < worst`` and ``worst`` is monotone
+      non-increasing, so any snapshot is a sound prune bound.
+
+    ``bulk_t2`` enables the complementary move for range launches with
+    an active sphere test and ``half_width >= r``: a leaf whose
+    ``max_d2 <= bulk_t2 (= r²)`` is *bulk-accepted* — every member
+    point provably passes both the primitive AABB test
+    (``L∞ <= d <= r <= half_width``) and the sphere test, so its pairs
+    skip the per-point AABB tests and flow straight to the shader, in
+    the identical slot order (Any-Hit timing, and therefore results,
+    stay bit-identical). ``None`` disables bulk acceptance (KNN — the
+    queue still needs every distance compared — and fast-path bundles,
+    whose inscribed AABBs must keep filtering).
+    """
+
+    leaf_lo: np.ndarray        # (M, 3) tight leaf point MBRs (leaf rows)
+    leaf_hi: np.ndarray
+    static_t2: float           # launch-constant squared prune bound
+    bulk_t2: float | None = None     # bulk-accept bound (range w/ sphere test)
+    worst: np.ndarray | None = None  # (Q,) live KNN worst-distance array
+    query_ids: np.ndarray | None = None  # (R,) ray -> accumulator row
+
+
 @dataclass
 class TraceResult:
     """Counters produced by one :func:`trace_batch` launch."""
@@ -71,6 +112,10 @@ class TraceResult:
     warp_size: int
     per_warp_steps: np.ndarray | None = None  # (W,) busy rounds
     ah_terminations: int = 0        # rays stopped via the Any-Hit path
+    leaves_pruned: int = 0          # (ray, leaf) pairs skipped by MBR pruning
+    leaves_bulk_accepted: int = 0   # (ray, leaf) pairs bulk-accepted
+    budget_stopped_rays: int = 0    # rays truncated by the step budget
+    budget_exhausted: np.ndarray | None = None  # (R,) bool, truncated rays
 
     @property
     def total_steps(self) -> int:
@@ -121,6 +166,9 @@ class TraceResult:
             "warp_is_steps": int(self.warp_is_steps),
             "node_transactions": int(self.node_transactions),
             "prim_transactions": int(self.prim_transactions),
+            "leaves_pruned": int(self.leaves_pruned),
+            "leaves_bulk_accepted": int(self.leaves_bulk_accepted),
+            "budget_stopped_rays": int(self.budget_stopped_rays),
         }
 
     def merge(self, other: "TraceResult") -> "TraceResult":
@@ -152,6 +200,16 @@ class TraceResult:
             if self.per_warp_steps is None or other.per_warp_steps is None
             else np.concatenate([self.per_warp_steps, other.per_warp_steps]),
             ah_terminations=self.ah_terminations + other.ah_terminations,
+            leaves_pruned=self.leaves_pruned + other.leaves_pruned,
+            leaves_bulk_accepted=(
+                self.leaves_bulk_accepted + other.leaves_bulk_accepted
+            ),
+            budget_stopped_rays=(
+                self.budget_stopped_rays + other.budget_stopped_rays
+            ),
+            budget_exhausted=None
+            if self.budget_exhausted is None or other.budget_exhausted is None
+            else np.concatenate([self.budget_exhausted, other.budget_exhausted]),
         )
 
 
@@ -165,6 +223,9 @@ def trace_batch(
     warp_size: int = 32,
     tracer=None,
     max_iterations: int | None = None,
+    prune: PruneSpec | None = None,
+    step_budget: int | None = None,
+    backend: Backend = NUMPY_BACKEND,
 ) -> TraceResult:
     """Trace a batch of rays through ``bvh``.
 
@@ -188,6 +249,22 @@ def trace_batch(
         record-and-replay tracers can roll up their deferred state.
     max_iterations:
         Safety valve; raises ``RuntimeError`` if exceeded.
+    prune:
+        Optional :class:`PruneSpec`. Hit leaves whose tight point MBR
+        provably cannot contribute are skipped before the per-point
+        gather; leaves provably entirely inside the acceptance sphere
+        are bulk-accepted past the primitive AABB tests. Results are
+        bit-identical with or without pruning; only work counters and
+        the primitive access stream change.
+    step_budget:
+        Optional cap on node pops per ray. A ray that reaches the cap
+        with stack entries remaining stops deterministically and is
+        flagged in ``budget_exhausted`` — the approximate-search mode.
+        ``None`` (default) traverses to completion (exact).
+    backend:
+        Kernel provider for the hot inner loops (prim containment
+        tests, MBR distance bounds). All backends are bit-identical to
+        the NumPy reference.
 
     Returns
     -------
@@ -212,6 +289,7 @@ def trace_batch(
             n_rays=0,
             warp_size=warp_size,
             per_warp_steps=np.zeros(0, dtype=np.int64),
+            budget_exhausted=np.zeros(0, dtype=bool),
         )
 
     stack_width = bvh.depth + 2
@@ -223,6 +301,10 @@ def trace_batch(
     is_calls = np.zeros(n_rays, dtype=np.int64)
     prim_tests = np.zeros(n_rays, dtype=np.int64)
     ah_terminations = 0
+    leaves_pruned = 0
+    leaves_bulk_accepted = 0
+    prim_accesses = 0
+    budget_exhausted = np.zeros(n_rays, dtype=bool)
 
     node_left = bvh.node_left
     node_right = bvh.node_right
@@ -235,6 +317,12 @@ def trace_batch(
     prim_hi = bvh.prim_hi
     max_leaf = bvh.leaf_size
     test_prims = max_leaf > 1  # leaf bound == prim bound when 1
+    # RTNN's degenerate short rays reduce the prim AABB test to closed
+    # origin-in-box containment — the backend-routed hot kernel. Longer
+    # segments keep the general slab test.
+    fast_prim_test = (t_max - t_min <= 1e-12) and (t_min >= 0.0)
+    # Bulk acceptance only pays when there is a per-point test to skip.
+    bulk_t2 = prune.bulk_t2 if prune is not None and test_prims else None
 
     if max_iterations is None:
         max_iterations = bvh.n_nodes + stack_width + 1
@@ -251,18 +339,39 @@ def trace_batch(
                 "possible cycle in BVH topology"
             )
 
+        # --- step budget (approximate mode) ------------------------------
+        # Truncation is deterministic: per-ray work is independent of
+        # warp packing and of the other rays, so a larger budget only
+        # ever adds candidate pairs (the recall monotonicity the
+        # engine's lower bound relies on). Activity is a contiguous
+        # prefix of rounds, so every still-active ray has popped
+        # exactly ``iteration`` nodes — the whole set exhausts at once.
+        if step_budget is not None and iteration >= step_budget:
+            budget_exhausted[act] = True
+            steps[act] = iteration
+            break
+
         # --- pop (RT core) ---------------------------------------------
-        sp[act] -= 1
-        nodes = stack[act, sp[act]]
-        steps[act] += 1
+        tops = sp[act] - 1
+        sp[act] = tops
+        nodes = stack[act, tops]
         if tracer is not None:
             tracer.on_node_access(iteration, act, nodes)
 
         # --- ray-AABB test ----------------------------------------------
-        hit = ray_aabb_intersect(
-            origins[act], directions[act], t_min, t_max,
-            node_lo[nodes], node_hi[nodes],
-        )
+        # Degenerate short rays reduce the node slab test to the same
+        # origin-in-box containment as the prim test. Containment hits
+        # are a subset of slab hits, and every prim box lies inside its
+        # node box, so no containment-passing primitive is ever lost.
+        if fast_prim_test:
+            hit = backend.points_in_boxes(
+                origins[act], node_lo[nodes], node_hi[nodes]
+            )
+        else:
+            hit = ray_aabb_intersect(
+                origins[act], directions[act], t_min, t_max,
+                node_lo[nodes], node_hi[nodes],
+            )
         hit_nodes = nodes[hit]
         hit_rays = act[hit]
         internal = node_left[hit_nodes] >= 0
@@ -284,6 +393,33 @@ def trace_batch(
         # --- leaf handling ------------------------------------------------
         leaf_rays = hit_rays[~internal]
         leaf_nodes = hit_nodes[~internal]
+        flat_bulk = None
+        if len(leaf_rays) and prune is not None:
+            # MBR distance pruning: bound each (ray, leaf) pair by the
+            # squared distance from the query to the leaf's tight point
+            # MBR. min_d2 above every acceptance bound -> skip the
+            # leaf; max_d2 within the bulk bound -> every member point
+            # provably passes the per-point tests.
+            min_d2, max_d2 = backend.box_sq_dists(
+                origins[leaf_rays],
+                prune.leaf_lo[leaf_nodes],
+                prune.leaf_hi[leaf_nodes],
+            )
+            thresh = prune.static_t2
+            if prune.worst is not None:
+                thresh = np.minimum(
+                    thresh, prune.worst[prune.query_ids[leaf_rays]]
+                )
+            keep = min_d2 <= thresh
+            leaves_pruned += int(len(keep)) - int(keep.sum())
+            if bulk_t2 is not None:
+                bulk = keep & (max_d2 <= bulk_t2)
+                leaves_bulk_accepted += int(bulk.sum())
+                flat_bulk = bulk[keep]
+                if not flat_bulk.any():
+                    flat_bulk = None
+            leaf_rays = leaf_rays[keep]
+            leaf_nodes = leaf_nodes[keep]
         if len(leaf_rays):
             starts = node_start[leaf_nodes]
             counts = node_end[leaf_nodes] - starts
@@ -297,12 +433,52 @@ def trace_batch(
             pair_ray = np.repeat(
                 np.arange(len(leaf_rays), dtype=np.int64), counts
             )
-            pair_j = (
-                np.arange(len(pair_ray), dtype=np.int64)
-                - np.repeat(np.cumsum(counts) - counts, counts)
-            )
+            # prim_order position of each pair: starts[pair_ray] plus the
+            # in-leaf slot, folded into one repeat (starts - cum + counts
+            # is the start minus the pair index where the run begins).
+            pos = np.arange(len(pair_ray), dtype=np.int64)
+            pos += np.repeat(starts - np.cumsum(counts) + counts, counts)
             flat_rays = leaf_rays[pair_ray]
-            flat_prims = prim_order[starts[pair_ray] + pair_j]
+            flat_prims = prim_order[pos]
+            if flat_bulk is not None:
+                flat_bulk = flat_bulk[pair_ray]
+            if flat_bulk is None and hasattr(hit_handler, "flat_hits"):
+                # Fused leaf stage. A handler exposing ``flat_hits``
+                # never issues Any-Hit terminations (KNN), so no slot
+                # can suppress a later one and the whole round's pairs
+                # collapse into one tracer emission, one containment
+                # test and one shader call. Per-pair work and counters
+                # are identical to the slot loop; only the primitive
+                # access stream's ordering (ray-major instead of
+                # slot-major) differs, which results never observe.
+                r_all = flat_rays
+                p_all = flat_prims
+                if tracer is not None:
+                    tracer.on_prim_access(iteration, r_all, p_all)
+                prim_accesses += len(r_all)
+                if test_prims:
+                    prim_tests += np.bincount(r_all, minlength=n_rays)
+                    if fast_prim_test:
+                        inside = backend.points_in_boxes(
+                            origins[r_all], prim_lo[p_all], prim_hi[p_all]
+                        )
+                    else:
+                        inside = ray_aabb_intersect(
+                            origins[r_all], directions[r_all], t_min, t_max,
+                            prim_lo[p_all], prim_hi[p_all],
+                        )
+                    r_all = r_all[inside]
+                    p_all = p_all[inside]
+                if len(r_all):
+                    is_calls += np.bincount(r_all, minlength=n_rays)
+                    hit_handler.flat_hits(r_all, p_all)
+                keep = sp[act] > 0
+                if not keep.all():
+                    steps[act[~keep]] = iteration + 1
+                    act = act[keep]
+                iteration += 1
+                continue
+            pair_j = pos - starts[pair_ray]
             slot_order = np.argsort(pair_j, kind="stable")
             slot_bounds = np.searchsorted(
                 pair_j[slot_order], np.arange(int(counts.max()) + 1)
@@ -317,14 +493,49 @@ def trace_batch(
                 prims = flat_prims[sel][live]
                 if tracer is not None:
                     tracer.on_prim_access(iteration, r, prims)
+                prim_accesses += len(r)
                 if test_prims:
-                    prim_tests[r] += 1
-                    inside = ray_aabb_intersect(
-                        origins[r], directions[r], t_min, t_max,
-                        prim_lo[prims], prim_hi[prims],
+                    bulk = (
+                        flat_bulk[sel][live]
+                        if flat_bulk is not None
+                        else None
                     )
-                    r = r[inside]
-                    prims = prims[inside]
+                    if bulk is not None and bulk.any():
+                        # Bulk-accepted pairs skip the per-point AABB
+                        # test; tested pairs scatter their verdicts back
+                        # into the pair order so the shader sees the
+                        # exact same sequence it would unpruned.
+                        tested = ~bulk
+                        rt = r[tested]
+                        keep_pairs = bulk.copy()
+                        if len(rt):
+                            prim_tests[rt] += 1
+                            pt = prims[tested]
+                            if fast_prim_test:
+                                keep_pairs[tested] = backend.points_in_boxes(
+                                    origins[rt], prim_lo[pt], prim_hi[pt]
+                                )
+                            else:
+                                keep_pairs[tested] = ray_aabb_intersect(
+                                    origins[rt], directions[rt],
+                                    t_min, t_max,
+                                    prim_lo[pt], prim_hi[pt],
+                                )
+                        r = r[keep_pairs]
+                        prims = prims[keep_pairs]
+                    else:
+                        prim_tests[r] += 1
+                        if fast_prim_test:
+                            inside = backend.points_in_boxes(
+                                origins[r], prim_lo[prims], prim_hi[prims]
+                            )
+                        else:
+                            inside = ray_aabb_intersect(
+                                origins[r], directions[r], t_min, t_max,
+                                prim_lo[prims], prim_hi[prims],
+                            )
+                        r = r[inside]
+                        prims = prims[inside]
                     if len(r) == 0:
                         continue
                 is_calls[r] += 1
@@ -333,7 +544,10 @@ def trace_batch(
                     alive[np.asarray(term, dtype=np.int64)] = False
                     ah_terminations += len(term)
 
-        act = act[alive[act] & (sp[act] > 0)]
+        keep = alive[act] & (sp[act] > 0)
+        if not keep.all():
+            steps[act[~keep]] = iteration + 1
+            act = act[keep]
         iteration += 1
 
     _finalize_tracer(tracer)
@@ -347,9 +561,16 @@ def trace_batch(
         warp_is_steps=int(_warp_max(is_calls, warp_size).sum()),
         prim_test_warp_steps=int(_warp_max(prim_tests, warp_size).sum()),
         node_transactions=int(steps.sum()),
-        prim_transactions=int(prim_tests.sum()) if test_prims else int(is_calls.sum()),
+        # Every pair fed to the leaf stage fetches its primitive record,
+        # tested or bulk-accepted alike. Without pruning this equals the
+        # historical prim_tests/is_calls totals exactly.
+        prim_transactions=prim_accesses,
         n_rays=n_rays,
         warp_size=warp_size,
         per_warp_steps=per_warp_steps,
         ah_terminations=ah_terminations,
+        leaves_pruned=leaves_pruned,
+        leaves_bulk_accepted=leaves_bulk_accepted,
+        budget_stopped_rays=int(budget_exhausted.sum()),
+        budget_exhausted=budget_exhausted,
     )

@@ -55,6 +55,9 @@ def _validate_point_args(args) -> None:
         raise _cli_error(f"--radius must be positive, got {radius:g}")
     if getattr(args, "repeat", 1) < 1:
         raise _cli_error(f"--repeat must be >= 1, got {args.repeat}")
+    budget = getattr(args, "budget", None)
+    if budget is not None and budget < 1:
+        raise _cli_error(f"--budget must be >= 1, got {budget}")
 
 
 def _add_search(sub):
@@ -75,6 +78,21 @@ def _add_search(sub):
     p.add_argument("--no-bundle", action="store_true")
     p.add_argument("--knn-aabb", choices=("conservative", "equiv_volume"),
                    default="conservative")
+    p.add_argument("--backend", choices=("numpy", "numba"), default="numpy",
+                   help="hot-path kernel backend; 'numba' falls back to the "
+                        "NumPy reference kernels (bit-identical) when numba "
+                        "is not installed (default numpy)")
+    p.add_argument("--budget", type=int, default=None, metavar="STEPS",
+                   help="per-query traversal step budget: deterministic "
+                        "approximate answers with a reported recall lower "
+                        "bound (default: exact, no budget; rejected for "
+                        "true-knn)")
+    p.add_argument("--no-prune", action="store_true",
+                   help="disable leaf MBR distance pruning (results are "
+                        "bit-identical either way; for perf comparison)")
+    p.add_argument("--profile", action="store_true",
+                   help="report pruning counters and per-backend wall time "
+                        "after the search")
     p.add_argument("--repeat", type=int, default=1, metavar="N",
                    help="run the search N times on the held engine; warm "
                         "batches reuse the GAS cache (default 1)")
@@ -102,6 +120,9 @@ def _cmd_search(args) -> int:
         partition=not args.no_partition,
         bundle=not args.no_bundle,
         knn_aabb=args.knn_aabb,
+        backend=args.backend,
+        step_budget=args.budget,
+        leaf_prune=not args.no_prune,
     )
     engine = RTNNEngine(points, device=KNOWN_DEVICES[args.device], config=config)
 
@@ -137,6 +158,14 @@ def _cmd_search(args) -> int:
         print(f"  {cat:>7}: {sec * 1e6:10.2f} us")
     print(f"partitions: {rep.n_partitions}, bundles: {rep.n_bundles}, "
           f"IS calls: {rep.is_calls}")
+    bud = rep.extras.get("budget")
+    if bud:
+        print(f"budget: {bud['step_budget']} steps/query, exhausted "
+              f"{bud['exhausted_queries']}/{bud['total_queries']} queries, "
+              f"recall >= {bud['recall_lower_bound']:.3f} "
+              f"({'APPROXIMATE' if bud['budget_exhausted'] else 'exact: budget never fired'})")
+    if args.profile:
+        _print_search_profile(args, points, queries, mode, radius, rep, wall)
     if repeat > 1:
         warm = sum(walls[1:]) / (repeat - 1)
         stats = engine.gas_cache.stats
@@ -154,6 +183,50 @@ def _cmd_search(args) -> int:
         )
         print(f"results written to {args.out}")
     return 0
+
+
+def _print_search_profile(args, points, queries, mode, radius, rep, wall):
+    """The ``search --profile`` report: pruning counters + per-backend
+    wall time (the configured backend's run is reused; the others are
+    re-run once each on a fresh engine)."""
+    from dataclasses import replace as dc_replace
+
+    from repro.backend import BACKEND_NAMES, resolve_backend
+
+    pr = rep.extras.get("prune", {})
+    state = "on" if pr.get("enabled") else "off"
+    print(f"profile: leaf MBR pruning {state}: "
+          f"{pr.get('leaves_pruned', 0):,} leaf pairs pruned, "
+          f"{pr.get('leaves_bulk_accepted', 0):,} bulk-accepted")
+    base_config = RTNNConfig(
+        schedule=not args.no_schedule,
+        partition=not args.no_partition,
+        bundle=not args.no_bundle,
+        knn_aabb=args.knn_aabb,
+        step_budget=args.budget,
+        leaf_prune=not args.no_prune,
+    )
+    for bname in BACKEND_NAMES:
+        backend = resolve_backend(bname)
+        tag = " [fallback: numba not installed]" if backend.is_fallback else ""
+        if bname == args.backend:
+            print(f"profile: backend {bname:>6}{tag} wall {wall:7.3f} s "
+                  f"(this run)")
+            continue
+        eng = RTNNEngine(
+            points,
+            device=KNOWN_DEVICES[args.device],
+            config=dc_replace(base_config, backend=bname),
+        )
+        t0 = time.perf_counter()
+        if mode == "knn":
+            eng.knn_search(queries, k=args.k, radius=radius)
+        elif mode == "true_knn":
+            eng.true_knn_search(queries, k=args.k, radius=radius)
+        else:
+            eng.range_search(queries, radius=radius, k=args.k)
+        print(f"profile: backend {bname:>6}{tag} wall "
+              f"{time.perf_counter() - t0:7.3f} s")
 
 
 def _add_serve(sub):

@@ -18,6 +18,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.core.bundling import Bundle, bundle_partitions
 from repro.core.cache import GASCache, GASKey, fingerprint_array, quantize_half_width
 from repro.core.expansion import (
@@ -88,6 +89,22 @@ class RTNNConfig:
         query ids and GASes are resolved serially up front, so results,
         counters, breakdown charges, and recorded spans are identical
         to serial execution — only wall time changes.
+    leaf_prune:
+        Leaf MBR distance pruning (on by default): skip hit leaves the
+        query provably cannot accept points from, bulk-accept leaves
+        provably inside the acceptance sphere. Results are bit-identical
+        either way; only work counters and wall time change.
+    step_budget:
+        Cap on traversal node pops per ray. ``None`` (default) is the
+        exact mode; a positive budget returns approximate answers with
+        an explicit recall lower bound in ``report.extras["budget"]``.
+        Rejected for ``true_knn`` (its termination test needs exact
+        bounded rounds).
+    backend:
+        Hot-path kernel provider: ``"numpy"`` (reference) or
+        ``"numba"`` (JIT-compiled; falls back to the reference kernels
+        with a warning when numba is not installed). All backends are
+        bit-identical.
     """
 
     schedule: bool = True
@@ -102,6 +119,9 @@ class RTNNConfig:
     leaf_size: int = 4
     aabb_shrink: float = 1.0
     parallel_bundles: int | None = None
+    leaf_prune: bool = True
+    step_budget: int | None = None
+    backend: str = "numpy"
 
 
 #: named ablation variants of Fig. 13
@@ -136,8 +156,13 @@ class RTNNEngine:
         self.device = device
         self.config = config or RTNNConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.backend = resolve_backend(self.config.backend)
         self.pipeline = Pipeline(
-            device=device, cache_sim=self.config.cache_sim, tracer=self.tracer
+            device=device,
+            cache_sim=self.config.cache_sim,
+            tracer=self.tracer,
+            prune_leaves=self.config.leaf_prune,
+            backend=self.backend,
         )
         self.cost_model = self.pipeline.cost_model
         # All per-partition BVHs share the same Morton order (the AABB
@@ -166,13 +191,25 @@ class RTNNEngine:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def range_search(self, queries, radius: float, k: int) -> SearchResults:
-        """All neighbors within ``radius``, at most ``k`` per query."""
-        return self._run("range", queries, radius, k)
+    def range_search(
+        self, queries, radius: float, k: int, budget: int | None = None
+    ) -> SearchResults:
+        """All neighbors within ``radius``, at most ``k`` per query.
 
-    def knn_search(self, queries, k: int, radius: float) -> SearchResults:
-        """The ``k`` nearest neighbors within ``radius`` per query."""
-        return self._run("knn", queries, radius, k)
+        ``budget`` overrides ``config.step_budget`` for this call (see
+        :class:`RTNNConfig`); it is per-call state, so concurrent
+        callers sharing one engine cannot observe each other's budgets.
+        """
+        return self._run("range", queries, radius, k, budget=budget)
+
+    def knn_search(
+        self, queries, k: int, radius: float, budget: int | None = None
+    ) -> SearchResults:
+        """The ``k`` nearest neighbors within ``radius`` per query.
+
+        ``budget`` overrides ``config.step_budget`` for this call.
+        """
+        return self._run("knn", queries, radius, k, budget=budget)
 
     def true_knn_search(
         self,
@@ -215,7 +252,12 @@ class RTNNEngine:
         return r0
 
     def search_fused(
-        self, kind: str, query_groups, radius: float, k: int
+        self,
+        kind: str,
+        query_groups,
+        radius: float,
+        k: int,
+        budget: int | None = None,
     ) -> list[SearchResults]:
         """One pipeline pass over several independent query groups.
 
@@ -244,8 +286,15 @@ class RTNNEngine:
                 f"kind must be 'range', 'knn' or 'true_knn', got {kind!r}"
             )
         if kind == "true_knn":
+            if budget is not None:
+                raise ValueError(
+                    "true_knn is incompatible with a step budget: its "
+                    "termination test requires exact bounded rounds"
+                )
             return self._true_knn_groups(list(query_groups), radius, k)
-        return self._run_groups(kind, list(query_groups), radius, k)
+        return self._run_groups(
+            kind, list(query_groups), radius, k, budget=budget
+        )
 
     # ------------------------------------------------------------------
     # pipeline
@@ -317,22 +366,36 @@ class RTNNEngine:
             query_ids=launch_ids,
         )
         if kind == "knn":
-            shader = KnnShader(self.points, origins, launch_ids, acc)
+            shader = KnnShader(
+                self.points, origins, launch_ids, acc, backend=self.backend
+            )
             is_kind = IsKind.KNN
         else:
             sphere_test = bundle.sphere_test and not cfg.approx_elide_sphere_test
             shader = RangeShader(
                 self.points, origins, launch_ids, acc, radius,
-                sphere_test=sphere_test,
+                sphere_test=sphere_test, backend=self.backend,
             )
             is_kind = IsKind.RANGE_TEST if sphere_test else IsKind.RANGE_FAST
         return launch_ids, rays, shader, is_kind
 
-    def _run(self, kind: str, queries, radius: float, k: int) -> SearchResults:
-        return self._run_groups(kind, [queries], radius, k)[0]
+    def _run(
+        self,
+        kind: str,
+        queries,
+        radius: float,
+        k: int,
+        budget: int | None = None,
+    ) -> SearchResults:
+        return self._run_groups(kind, [queries], radius, k, budget=budget)[0]
 
     def _run_groups(
-        self, kind: str, groups: list, radius: float, k: int
+        self,
+        kind: str,
+        groups: list,
+        radius: float,
+        k: int,
+        budget: int | None = None,
     ) -> list[SearchResults]:
         """Execute one pipeline pass over one or more query groups.
 
@@ -349,6 +412,9 @@ class RTNNEngine:
         cfg = self.config
         if cfg.parallel_bundles is not None:
             check_positive_int(cfg.parallel_bundles, "parallel_bundles")
+        step_budget = budget if budget is not None else cfg.step_budget
+        if step_budget is not None:
+            step_budget = check_positive_int(step_budget, "step_budget")
         sizes = [len(g) for g in groups]
         offsets = np.concatenate([[0], np.cumsum(sizes)])
         n_q = int(offsets[-1])
@@ -465,12 +531,19 @@ class RTNNEngine:
         l2_acc = 0.0
         occ_w = 0.0
         occ_acc = 0.0
+        leaves_pruned = 0
+        leaves_bulk = 0
+        # Queries with at least one budget-truncated ray: their rows may
+        # be missing neighbors, everyone else's are provably exact.
+        exhausted_q = np.zeros(n_q, dtype=bool)
         launches = []
 
         def absorb(launch):
             """Fold one launch into the run totals (always bundle order)."""
             nonlocal total_is, total_steps, hit_w, l1_acc, l2_acc
-            nonlocal occ_w, occ_acc
+            nonlocal occ_w, occ_acc, leaves_pruned, leaves_bulk
+            leaves_pruned += launch.trace.leaves_pruned
+            leaves_bulk += launch.trace.leaves_bulk_accepted
             launches.append(launch)
             breakdown.search += launch.modeled_time
             total_is += launch.trace.total_is_calls
@@ -514,11 +587,17 @@ class RTNNEngine:
                         prelude_spans=(
                             build_rec.spans if build_rec is not None else []
                         ),
+                        step_budget=step_budget,
                     )
                 )
             for outcome in execute_bundles(self.pipeline, jobs, workers):
                 graft_spans(self.tracer, outcome.spans)
                 absorb(outcome.launch)
+                if step_budget is not None:
+                    be = outcome.launch.trace.budget_exhausted
+                    if be is not None and be.any():
+                        qids = jobs[outcome.index].rays.query_ids
+                        exhausted_q[qids[be]] = True
         else:
             for i, bundle in enumerate(bundles):
                 with self.tracer.span(f"bundle[{i}]", phase="traverse") as sp:
@@ -526,11 +605,17 @@ class RTNNEngine:
                     launch_ids, rays, shader, is_kind = self._launch_args(
                         kind, queries, bundle, global_rank, acc, radius
                     )
-                    launch = self.pipeline.launch(gas, rays, shader, is_kind)
+                    launch = self.pipeline.launch(
+                        gas, rays, shader, is_kind, step_budget=step_budget
+                    )
                     # Launch counters/cost live on the child launch span.
                     sp.add(bundle_queries=len(launch_ids))
                     sp.note(aabb_width=float(bundle.aabb_width))
                     absorb(launch)
+                    if step_budget is not None:
+                        be = launch.trace.budget_exhausted
+                        if be is not None and be.any():
+                            exhausted_q[rays.query_ids[be]] = True
 
         if kind == "knn":
             idx, counts, d2 = acc.finalize()
@@ -553,7 +638,29 @@ class RTNNEngine:
                 "misses": cache_misses,
                 "entries": len(self.gas_cache),
             },
+            "prune": {
+                "enabled": bool(cfg.leaf_prune),
+                "leaves_pruned": int(leaves_pruned),
+                "leaves_bulk_accepted": int(leaves_bulk),
+            },
         }
+        if step_budget is not None:
+            n_ex = int(exhausted_q.sum())
+            extras["budget"] = {
+                "step_budget": int(step_budget),
+                "budget_exhausted": bool(n_ex),
+                "exhausted_queries": n_ex,
+                "total_queries": int(n_q),
+                # A query whose rays all ran to completion got the exact
+                # answer; the bound counts only truncated queries wrong.
+                "recall_lower_bound": (
+                    1.0 if n_q == 0 else max(0.0, 1.0 - n_ex / n_q)
+                ),
+                "group_exhausted": [
+                    int(exhausted_q[off : off + n].sum())
+                    for off, n in zip(offsets, sizes)
+                ],
+            }
         if len(groups) > 1:
             extras["fused"] = {"n_groups": len(groups), "group_sizes": sizes}
         report = RunReport(
@@ -613,6 +720,12 @@ class RTNNEngine:
         ``policy.max_rounds``).
         """
         policy = policy or DEFAULT_POLICY
+        if self.config.step_budget is not None:
+            raise ValueError(
+                "true_knn is incompatible with a step budget: the "
+                "expansion loop's termination test (counts == k after "
+                "an exhaustive round) requires exact bounded rounds"
+            )
         groups = [as_points(g, "queries") for g in groups]
         k = check_positive_int(k, "k")
         if radius is None:
@@ -680,6 +793,7 @@ class RTNNEngine:
         bundle_sizes: list = []
         hits = misses = 0
         is_calls = steps = parts = bundles = builds = 0
+        pruned = bulk = 0
         for rep in reports:
             breakdown = breakdown + rep.breakdown
             is_calls += rep.is_calls
@@ -693,6 +807,9 @@ class RTNNEngine:
             cache = rep.extras.get("gas_cache", {})
             hits += cache.get("hits", 0)
             misses += cache.get("misses", 0)
+            prune = rep.extras.get("prune", {})
+            pruned += prune.get("leaves_pruned", 0)
+            bulk += prune.get("leaves_bulk_accepted", 0)
         extras = {
             "launch_costs": launch_costs,
             "aabb_widths": aabb_widths,
@@ -703,6 +820,13 @@ class RTNNEngine:
                 "entries": reports[-1].extras.get("gas_cache", {}).get(
                     "entries", 0
                 ),
+            },
+            "prune": {
+                "enabled": reports[-1]
+                .extras.get("prune", {})
+                .get("enabled", False),
+                "leaves_pruned": pruned,
+                "leaves_bulk_accepted": bulk,
             },
         }
         return RunReport(

@@ -43,6 +43,7 @@ class BundleJob:
     is_kind: object        # IsKind
     aabb_width: float
     prelude_spans: list[Span] = field(default_factory=list)
+    step_budget: int | None = None
 
 
 @dataclass
@@ -60,7 +61,8 @@ def run_bundle(pipeline, job: BundleJob) -> BundleOutcome:
     with local.span(f"bundle[{job.index}]", phase="traverse") as sp:
         sp.children.extend(job.prelude_spans)
         launch = pipeline.launch(
-            job.gas, job.rays, job.shader, job.is_kind, tracer=local
+            job.gas, job.rays, job.shader, job.is_kind, tracer=local,
+            step_budget=job.step_budget,
         )
         sp.add(bundle_queries=len(job.rays.query_ids))
         sp.note(aabb_width=float(job.aabb_width))

@@ -43,14 +43,23 @@ class KnnQueueBatch:
         are dropped; otherwise they displace the current worst entry.
         """
         keep = d2 <= self.r2
-        if not keep.any():
-            return
-        qids = qids[keep]
-        pids = pids[keep]
-        d2 = d2[keep]
+        if not keep.all():  # callers that pre-filter skip three copies
+            if not keep.any():
+                return
+            qids = qids[keep]
+            pids = pids[keep]
+            d2 = d2[keep]
 
         counts = self.count[qids]
         not_full = counts < self.k
+        if not_full.all():  # filling phase: every offered queue has room
+            self.idx[qids, counts] = pids
+            self.d2[qids, counts] = d2
+            self.count[qids] = counts + 1
+            newly_full = qids[counts + 1 == self.k]
+            if len(newly_full):
+                self.worst[newly_full] = self.d2[newly_full].max(axis=1)
+            return
         if not_full.any():
             q = qids[not_full]
             slots = counts[not_full]
@@ -64,10 +73,14 @@ class KnnQueueBatch:
         improving = (~not_full) & (d2 < self.worst[qids])
         if improving.any():
             q = qids[improving]
-            victim = np.argmax(self.d2[q], axis=1)
+            d2_new = d2[improving]
+            rows = self.d2[q]  # one gathered copy serves argmax and max
+            victim = rows.argmax(axis=1)
+            arange = np.arange(len(q))
+            rows[arange, victim] = d2_new
             self.idx[q, victim] = pids[improving]
-            self.d2[q, victim] = d2[improving]
-            self.worst[q] = self.d2[q].max(axis=1)
+            self.d2[q, victim] = d2_new
+            self.worst[q] = rows.max(axis=1)
 
     def finalize(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return (indices, counts, sq_distances) sorted by distance."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import NUMPY_BACKEND, Backend
 from repro.core.queues import KnnQueueBatch, RangeAccumulator
 
 
@@ -37,12 +38,13 @@ class _PairDistance:
     own shader) never share scratch.
     """
 
-    __slots__ = ("_a", "_b", "_d2")
+    __slots__ = ("_a", "_b", "_d2", "_backend")
 
-    def __init__(self):
+    def __init__(self, backend: Backend | None = None):
         self._a = np.empty((0, 3), dtype=np.float64)
         self._b = np.empty((0, 3), dtype=np.float64)
         self._d2 = np.empty(0, dtype=np.float64)
+        self._backend = NUMPY_BACKEND if backend is None else backend
 
     def __call__(
         self,
@@ -64,7 +66,7 @@ class _PairDistance:
         np.take(a, a_ids, axis=0, out=ga)
         np.take(b, b_ids, axis=0, out=gb)
         np.subtract(ga, gb, out=ga)
-        return np.einsum("ij,ij->i", ga, ga, out=self._d2[:n])
+        return self._backend.sq_dist(ga, out=self._d2[:n])
 
 
 class RangeShader:
@@ -83,6 +85,7 @@ class RangeShader:
         accumulator: RangeAccumulator,
         radius: float,
         sphere_test: bool = True,
+        backend: Backend | None = None,
     ):
         self.points = points
         self.origins = origins
@@ -91,7 +94,7 @@ class RangeShader:
         self.r2 = float(radius) * float(radius)
         self.sphere_test = sphere_test
         self._ray_of_q = np.full(accumulator.n_queries, -1, dtype=np.int64)
-        self._dist = _PairDistance()
+        self._dist = _PairDistance(backend)
 
     def __call__(self, ray_ids: np.ndarray, prim_ids: np.ndarray):
         d2 = self._dist(self.origins, ray_ids, self.points, prim_ids)
@@ -121,17 +124,70 @@ class KnnShader:
         origins: np.ndarray,
         query_ids: np.ndarray,
         queue: KnnQueueBatch,
+        backend: Backend | None = None,
     ):
         self.points = points
         self.origins = origins
         self.query_ids = query_ids
         self.queue = queue
-        self._dist = _PairDistance()
+        self._dist = _PairDistance(backend)
 
     def __call__(self, ray_ids: np.ndarray, prim_ids: np.ndarray):
         d2 = self._dist(self.origins, ray_ids, self.points, prim_ids)
         self.queue.insert(self.query_ids[ray_ids], prim_ids, d2)
         return None
+
+    def flat_hits(self, ray_ids: np.ndarray, prim_ids: np.ndarray) -> None:
+        """Consume one traversal round's pairs in a single call.
+
+        ``ray_ids`` is ray-major: each ray's candidates form one
+        contiguous run, in leaf order (the traversal's flat gather
+        produces exactly this). Distances are evaluated once for the
+        whole round, candidates beyond the queue radius are dropped up
+        front (the queue would drop them anyway), and the survivors are
+        re-batched by *per-ray rank* — a ray's i-th surviving candidate
+        goes into batch i. Each batch therefore holds at most one
+        candidate per query, and every query still receives its
+        candidates in the original order, so the queue passes through
+        the identical sequence of states as the per-slot loop: results
+        are bit-identical, with far fewer insert calls (the batch count
+        is the *max* surviving candidates of any one ray, not the leaf
+        size).
+
+        Exposing this method is also the traversal's cue that the
+        shader never issues Any-Hit terminations, which is what makes
+        batching a whole round sound.
+        """
+        d2 = self._dist(self.origins, ray_ids, self.points, prim_ids)
+        keep = d2 <= self.queue.r2
+        if not keep.all():
+            if not keep.any():
+                return
+            ray_ids = ray_ids[keep]
+            prim_ids = prim_ids[keep]
+            d2 = d2[keep]
+        qids = self.query_ids[ray_ids]
+        n = len(ray_ids)
+        run_head = np.empty(n, dtype=bool)
+        run_head[0] = True
+        np.not_equal(ray_ids[1:], ray_ids[:-1], out=run_head[1:])
+        if run_head.all():  # every ray kept a single candidate
+            self.queue.insert(qids, prim_ids, d2)
+            return
+        run_starts = np.flatnonzero(run_head)
+        run_lens = np.empty(len(run_starts), dtype=np.int64)
+        np.subtract(run_starts[1:], run_starts[:-1], out=run_lens[:-1])
+        run_lens[-1] = n - run_starts[-1]
+        rank = np.arange(n, dtype=np.int64)
+        rank -= np.repeat(run_starts, run_lens)
+        order = rank.argsort(kind="stable")
+        sorted_rank = rank[order]
+        bounds = sorted_rank.searchsorted(
+            np.arange(int(sorted_rank[-1]) + 2)
+        )
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            sel = order[a:b]
+            self.queue.insert(qids[sel], prim_ids[sel], d2[sel])
 
 
 class FirstHitShader:

@@ -55,7 +55,9 @@ def run_tmax_sweep(
     rng = default_rng(3)
     points = rng.random((n, 3))
     queries = rng.random((n, 3))
-    pipe = Pipeline(device=device, cache_sim=False)
+    # Leaf MBR pruning would suppress exactly the Condition-1 false
+    # positives this sweep exists to measure; characterize raw t_max.
+    pipe = Pipeline(device=device, cache_sim=False, prune_leaves=False)
     gas = build_gas(points, radius, pipe.cost_model, leaf_size=1)
     rows = []
     ref_sets = None

@@ -113,6 +113,8 @@ class Scenario:
     repeat: int = 1      # query batches served by one held engine
     parallel: int = 0    # parallel_bundles workers (0 = serial config)
     shards: int = 0      # sharded topology workers (0 = single engine)
+    backend: str = ""    # "" = numpy reference; "numba" = compiled twin (/nb)
+    budget: int = 0      # per-query traversal step budget (0 = exact)
 
     @property
     def name(self) -> str:
@@ -124,12 +126,20 @@ class Scenario:
             base = f"{base}/par{self.parallel}"
         if self.shards:
             base = f"{base}/sh{self.shards}"
+        if self.backend == "numba":
+            base = f"{base}/nb"
+        if self.budget:
+            base = f"{base}/b{self.budget}"
         return base
 
     def config(self) -> RTNNConfig:
         cfg = VARIANTS[self.variant]
         if self.parallel:
             cfg = replace(cfg, parallel_bundles=self.parallel)
+        if self.backend:
+            cfg = replace(cfg, backend=self.backend)
+        if self.budget:
+            cfg = replace(cfg, step_budget=self.budget)
         return cfg
 
 
@@ -170,6 +180,17 @@ def smoke_suite() -> list[Scenario]:
                  variant="sched+part", shards=4),
         Scenario(family="clustered-tknn", n_points=400, n_queries=160,
                  variant="sched+part"),
+    ] + [
+        # The backend seam and the step budget: a compiled-backend twin
+        # (``/nb``, gated bit-identical to its reference scenario by
+        # :func:`check_backend_consistency` — on machines without numba
+        # the graceful fallback makes it a self-check of the seam) and
+        # a budgeted twin (``/bN``, gated approximate-but-honest: a
+        # subset of the exact answer plus a sane recall bound).
+        Scenario(family="clustered", n_points=400, n_queries=160,
+                 variant="sched+part", backend="numba"),
+        Scenario(family="uniform", n_points=400, n_queries=160,
+                 variant="sched+part", budget=12),
     ]
 
 
@@ -188,7 +209,27 @@ def full_suite() -> list[Scenario]:
         Scenario(family=f, n_points=2000, n_queries=700,
                  variant="sched+part")
         for f in ("uniform-tknn", "clustered-tknn")
+    ] + [
+        Scenario(family="clustered", n_points=2000, n_queries=700,
+                 variant="sched+part", backend="numba"),
     ]
+
+
+def backend_suite() -> list[Scenario]:
+    """The ``--backend-check`` gate suite: reference scenarios plus
+    their compiled-backend and budgeted twins, nothing else.
+
+    Small enough to run in the CI backend matrix (with and without
+    numba installed); :func:`check_backend_consistency` gates it."""
+    base = [
+        Scenario(family=f, n_points=400, n_queries=160, variant="sched+part")
+        for f in ("uniform", "clustered", "kitti")
+    ]
+    return (
+        base
+        + [replace(sc, backend="numba") for sc in base]
+        + [replace(base[0], budget=12)]
+    )
 
 
 # ----------------------------------------------------------------------
@@ -267,6 +308,24 @@ def run_scenario(scenario: Scenario) -> dict:
         record["wall_warm_s"] = warm
         record["warm_speedup"] = (walls[0] / warm) if warm > 0 else float("inf")
         record["gas_cache"] = cache
+    if scenario.backend and not scenario.shards:
+        record["backend"] = {
+            "requested": engine.backend.name,
+            "is_fallback": bool(engine.backend.is_fallback),
+        }
+    if scenario.budget:
+        bud = res.report.extras.get("budget", {})
+        record["budget"] = {
+            key: bud[key]
+            for key in (
+                "step_budget",
+                "budget_exhausted",
+                "exhausted_queries",
+                "total_queries",
+                "recall_lower_bound",
+            )
+            if key in bud
+        }
     if mode == "true_knn":
         # The expansion loop must land on the exact answer: pin the
         # round count and compare every cell against the brute-force
@@ -301,6 +360,24 @@ def shard_twin(name: str) -> str | None:
     if not _SHARD_SUFFIX.search(name):
         return None
     return _SHARD_SUFFIX.sub("", name)
+
+
+_BACKEND_SUFFIX = re.compile(r"/nb$")
+_BUDGET_SUFFIX = re.compile(r"/b\d+$")
+
+
+def backend_twin(name: str) -> str | None:
+    """Name of the reference scenario a ``/nb`` scenario mirrors."""
+    if not _BACKEND_SUFFIX.search(name):
+        return None
+    return _BACKEND_SUFFIX.sub("", name)
+
+
+def budget_twin(name: str) -> str | None:
+    """Name of the exact scenario a ``/bN`` scenario mirrors."""
+    if not _BUDGET_SUFFIX.search(name):
+        return None
+    return _BUDGET_SUFFIX.sub("", name)
 
 
 def run_suite(scenarios: list[Scenario], verbose: bool = True) -> dict:
@@ -403,6 +480,77 @@ def check_shard_consistency(payload: dict) -> list[str]:
                     f"{name}: {key} diverged from single-engine twin "
                     f"({ref.get(key)!r} -> {rec.get(key)!r})"
                 )
+    return failures
+
+
+def check_backend_consistency(payload: dict) -> list[str]:
+    """Gate the backend seam and the step budget against their twins.
+
+    ``/nb`` scenarios must be **bit-identical** to their reference
+    twin — results, counters *and* modeled seconds: every backend
+    performs the same float64 operations in the same order, so the
+    compiled kernels (or, without numba, the graceful fallback) may
+    change wall-clock only. ``/bN`` scenarios are approximate by
+    contract, but honestly so: the neighbor population must be a
+    subset of the exact twin's (never more work reported than the
+    exact answer), the recorded recall lower bound must be sane, and
+    a budgeted run whose budget never fired must be bit-identical.
+    """
+    failures: list[str] = []
+    scenarios = payload.get("scenarios", {})
+    for name, rec in sorted(scenarios.items()):
+        twin = backend_twin(name)
+        if twin is not None:
+            if twin not in scenarios:
+                failures.append(
+                    f"{name}: reference twin {twin!r} missing from suite"
+                )
+                continue
+            ref = scenarios[twin]
+            for key in ("neighbors", "checksum", "modeled_s"):
+                if rec.get(key) != ref.get(key):
+                    failures.append(
+                        f"{name}: {key} diverged from reference twin "
+                        f"({ref.get(key)!r} -> {rec.get(key)!r})"
+                    )
+            for key in sorted(set(rec["counters"]) | set(ref["counters"])):
+                a, b = rec["counters"].get(key), ref["counters"].get(key)
+                if a != b:
+                    failures.append(
+                        f"{name}: counter {key!r} diverged from reference "
+                        f"twin ({b!r} -> {a!r})"
+                    )
+            continue
+        twin = budget_twin(name)
+        if twin is None:
+            continue
+        if twin not in scenarios:
+            failures.append(f"{name}: exact twin {twin!r} missing from suite")
+            continue
+        ref = scenarios[twin]
+        bud = rec.get("budget")
+        if not bud:
+            failures.append(f"{name}: budgeted record carries no budget stats")
+            continue
+        if rec.get("neighbors", 0) > ref.get("neighbors", 0):
+            failures.append(
+                f"{name}: budgeted run reports MORE neighbors than its "
+                f"exact twin ({ref.get('neighbors')!r} -> "
+                f"{rec.get('neighbors')!r})"
+            )
+        bound = bud.get("recall_lower_bound")
+        if bound is None or not (0.0 <= bound <= 1.0):
+            failures.append(
+                f"{name}: recall_lower_bound {bound!r} outside [0, 1]"
+            )
+        if not bud.get("budget_exhausted", False):
+            for key in ("neighbors", "checksum"):
+                if rec.get(key) != ref.get(key):
+                    failures.append(
+                        f"{name}: budget never fired yet {key} diverged "
+                        f"from the exact twin ({ref.get(key)!r} -> "
+                        f"{rec.get(key)!r})"
+                    )
     return failures
 
 
@@ -527,6 +675,27 @@ def profile_scenario(name: str, top: int = 15) -> int:
     profiler.disable()
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats("cumulative").print_stats(top)
+
+    # Hot-path summary: MBR pruning effectiveness and the wall-clock of
+    # each registered backend on this scenario (outside the profiler —
+    # cProfile overhead would drown the comparison). A numba fallback
+    # runs the NumPy kernels, so its timing is a seam-overhead check.
+    from repro.backend import BACKEND_NAMES, resolve_backend
+
+    print("bench: hot-path summary")
+    for bname in BACKEND_NAMES:
+        backend = resolve_backend(bname)
+        rec = run_scenario(
+            replace(scenario, backend="" if bname == "numpy" else bname)
+        )
+        c = rec["counters"]
+        tag = " [fallback: numba not installed]" if backend.is_fallback else ""
+        print(
+            f"  backend {bname:>6}{tag}: wall {rec['wall_s']:6.2f} s, "
+            f"leaf pairs pruned {c.get('leaves_pruned', 0):,}, "
+            f"bulk-accepted {c.get('leaves_bulk_accepted', 0):,}, "
+            f"prim transactions {c.get('prim_transactions', 0):,}"
+        )
     return 0
 
 
@@ -575,10 +744,41 @@ def main(argv=None) -> int:
         help="cProfile one scenario (default: %(const)s) and print the "
         "top functions by cumulative time instead of running the suite",
     )
+    parser.add_argument(
+        "--backend-check",
+        action="store_true",
+        help="run only the backend gate suite: compiled-backend twins "
+        "must be bit-identical to the NumPy reference, budgeted twins "
+        "bounded; writes and compares nothing",
+    )
     args = parser.parse_args(argv)
 
     if args.profile:
         return profile_scenario(args.profile)
+
+    if args.backend_check:
+        from repro.backend import available_backends
+
+        suite = backend_suite()
+        print(
+            f"bench: backend gate ({len(suite)} scenarios; native "
+            f"backends: {', '.join(available_backends())})"
+        )
+        payload = run_suite(suite)
+        failures = check_backend_consistency(payload)
+        if failures:
+            print(
+                f"bench: {len(failures)} backend/budget divergence(s):",
+                file=sys.stderr,
+            )
+            for failure in failures:
+                print(f"  FAIL {failure}", file=sys.stderr)
+            return 1
+        print(
+            "bench: backend twins bit-identical to the NumPy reference, "
+            "budgeted twins bounded by their exact twins"
+        )
+        return 0
 
     check_wall = args.check_wall if args.check_wall is not None else not args.smoke
     do_write = args.write if args.write is not None else not args.smoke
@@ -616,6 +816,18 @@ def main(argv=None) -> int:
         status = 1
     else:
         print("bench: sharded scenarios match their single-engine twins")
+
+    backend_failures = check_backend_consistency(payload)
+    if backend_failures:
+        print(
+            f"bench: {len(backend_failures)} backend/budget divergence(s):",
+            file=sys.stderr,
+        )
+        for failure in backend_failures:
+            print(f"  FAIL {failure}", file=sys.stderr)
+        status = 1
+    else:
+        print("bench: backend twins bit-identical, budgeted twins bounded")
 
     tknn_failures = check_true_knn_oracle(payload)
     if tknn_failures:

@@ -107,7 +107,7 @@ def refit_gas(
     with tracer.span("refit_gas", phase="build") as sp:
         points = np.ascontiguousarray(points, dtype=np.float64)
         lo, hi = aabbs_from_points(points, gas.half_width)
-        refit_bvh(gas.bvh, lo, hi)
+        refit_bvh(gas.bvh, lo, hi)  # also drops cached leaf point-MBRs
         gas.points = points
         refit_time = (
             cost_model.bvh_build_time(len(points)) * REFIT_COST_FRACTION

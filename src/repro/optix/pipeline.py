@@ -20,7 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bvh.traverse import TraceResult, trace_batch
+from repro.backend import NUMPY_BACKEND, Backend
+from repro.bvh.traverse import PruneSpec, TraceResult, trace_batch
 from repro.geometry.ray import RayBatch
 from repro.gpu.cache import SampledCacheTracer
 from repro.gpu.costmodel import CostModel, IsKind, LaunchCost
@@ -68,12 +69,59 @@ class Pipeline:
     """A configured ray-tracing pipeline bound to one simulated device."""
 
     def __init__(self, device: DeviceSpec = RTX_2080, cache_sim: bool = True,
-                 cache_max_warps: int = 8, tracer: Tracer | None = None):
+                 cache_max_warps: int = 8, tracer: Tracer | None = None,
+                 prune_leaves: bool = True, backend: Backend | None = None):
         self.device = device
         self.cost_model = CostModel(device)
         self.cache_sim = cache_sim
         self.cache_max_warps = cache_max_warps
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.prune_leaves = prune_leaves
+        self.backend = NUMPY_BACKEND if backend is None else backend
+
+    def _prune_spec(self, gas: GeometryAS, is_shader) -> PruneSpec | None:
+        """Derive sound leaf-prune bounds for this launch, or ``None``.
+
+        The bounds come from the shader's acceptance rules, discovered
+        structurally: a KNN shader exposes its queue (radius bound +
+        live per-query worst distances), a range shader its radius and
+        whether the sphere test is active. Every accepted point also
+        passed the primitive AABB test, so ``3·half_width²`` is always
+        a sound launch-constant bound regardless of shader flavor.
+        The first-hit scheduling pre-pass is left unpruned — it already
+        terminates each ray at its first hit, and its result must
+        reflect the raw traversal order.
+        """
+        if not self.prune_leaves:
+            return None
+        hw = gas.half_width
+        t2 = 3.0 * hw * hw
+        bulk_t2 = None
+        worst = None
+        query_ids = None
+        queue = getattr(is_shader, "queue", None)
+        if queue is not None:
+            t2 = min(t2, float(queue.r2))
+            worst = queue.worst
+            query_ids = is_shader.query_ids
+        elif getattr(is_shader, "sphere_test", None) is True:
+            r2 = float(is_shader.r2)
+            t2 = min(t2, r2)
+            # Bulk acceptance needs every MBR member to pass the prim
+            # AABB test too: d <= r <= half_width implies L-inf <= hw.
+            if hw * hw >= r2:
+                bulk_t2 = r2
+        elif not hasattr(is_shader, "acc"):
+            return None
+        gas.bvh.ensure_leaf_mbrs(gas.points)
+        return PruneSpec(
+            leaf_lo=gas.bvh.leaf_lo,
+            leaf_hi=gas.bvh.leaf_hi,
+            static_t2=t2,
+            bulk_t2=bulk_t2,
+            worst=worst,
+            query_ids=query_ids,
+        )
 
     def launch(
         self,
@@ -83,6 +131,7 @@ class Pipeline:
         kind: IsKind,
         observers=(),
         tracer: Tracer | None = None,
+        step_budget: int | None = None,
     ) -> LaunchResult:
         """Trace ``rays`` through ``gas`` invoking ``is_shader`` on hits.
 
@@ -94,6 +143,9 @@ class Pipeline:
         overrides the pipeline's observability tracer for this launch —
         the parallel executor passes a per-job recorder here so each
         worker records spans without contending on the shared one.
+        ``step_budget`` caps node pops per ray (approximate mode); it is
+        per-launch state, never pipeline state, so concurrent callers of
+        a shared engine cannot race on it.
         """
         obs_tracer = tracer if tracer is not None else self.tracer
         with obs_tracer.span("launch") as sp:
@@ -123,6 +175,9 @@ class Pipeline:
                 is_shader,
                 warp_size=self.device.warp_size,
                 tracer=stream,
+                prune=self._prune_spec(gas, is_shader),
+                step_budget=step_budget,
+                backend=self.backend,
             )
             cost = self.cost_model.launch_cost(trace, kind, tracer=cache)
             l1 = cache.l1_hit_rate if cache is not None else None

@@ -65,6 +65,10 @@ class MicroBatch:
         return self.requests[0].radius
 
     @property
+    def budget(self) -> int | None:
+        return self.requests[0].budget
+
+    @property
     def occupancy(self) -> int:
         """Requests fused into this launch."""
         return len(self.requests)
@@ -86,5 +90,6 @@ def execute_batch(engine, batch: MicroBatch) -> list:
     cache) must be thread-safe against direct engine callers.
     """
     return engine.search_fused(
-        batch.kind, batch.query_groups(), radius=batch.radius, k=batch.k
+        batch.kind, batch.query_groups(), radius=batch.radius, k=batch.k,
+        budget=batch.budget,
     )

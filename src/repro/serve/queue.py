@@ -65,14 +65,25 @@ class SearchRequest:
     future: object = None
     attempts: int = 0
     cancelled: bool = False
+    budget: int | None = None   # per-request traversal step budget
 
     @property
     def n_queries(self) -> int:
         return len(self.queries)
 
     def compat_key(self) -> tuple:
-        """Requests with equal keys may share one fused launch."""
-        return (self.points_fp, self.kind, int(self.k), float(self.radius))
+        """Requests with equal keys may share one fused launch.
+
+        The budget participates: a budgeted request must never ride in
+        (or degrade) an exact request's launch, and vice versa.
+        """
+        return (
+            self.points_fp,
+            self.kind,
+            int(self.k),
+            float(self.radius),
+            self.budget,
+        )
 
     def expired(self, now: float) -> bool:
         return self.deadline_at is not None and now >= self.deadline_at

@@ -245,6 +245,7 @@ class SearchService:
         k: int,
         radius: float | None = None,
         deadline_s: float | None = None,
+        budget: int | None = None,
     ) -> ServeResult:
         """Enqueue one search request; resolves when it is served.
 
@@ -252,6 +253,12 @@ class SearchService:
         is the round-0 radius of the expansion schedule and may be
         omitted (density-seeded). For ``knn``/``range`` the radius is
         required.
+
+        ``budget`` caps traversal node pops per ray (approximate mode);
+        the result's ``report.extras["budget"]`` then carries an
+        explicit recall lower bound. Budgeted requests only fuse with
+        equally-budgeted ones, so exact requests are never degraded.
+        Rejected for ``true_knn``.
 
         Raises :class:`AdmissionError` immediately when the queue is
         full, :class:`DeadlineExpired` if ``deadline_s`` elapses before
@@ -275,6 +282,12 @@ class SearchService:
             radius = self.engine.seed_radius(k)
         else:
             radius = check_positive(radius, "radius")
+        if budget is not None:
+            if kind == "true_knn":
+                raise ValueError(
+                    "true_knn is incompatible with a step budget"
+                )
+            budget = check_positive_int(budget, "budget")
         if not self._running or self._stopping:
             raise ServiceStopped("service is not running")
         now = self._clock()
@@ -288,6 +301,7 @@ class SearchService:
             deadline_at=None if deadline_s is None else now + float(deadline_s),
             points_fp=self._points_fp,
             future=asyncio.get_running_loop().create_future(),
+            budget=budget,
         )
         self._next_rid += 1
         try:

@@ -374,13 +374,21 @@ class ShardedEngine:
     # ------------------------------------------------------------------
     # engine surface (what SearchService consumes)
     # ------------------------------------------------------------------
-    def knn_search(self, queries, k: int, radius: float) -> SearchResults:
+    def knn_search(
+        self, queries, k: int, radius: float, budget: int | None = None
+    ) -> SearchResults:
         """The ``k`` nearest within ``radius``, scatter-gathered."""
-        return self.search_fused("knn", [queries], radius=radius, k=k)[0]
+        return self.search_fused(
+            "knn", [queries], radius=radius, k=k, budget=budget
+        )[0]
 
-    def range_search(self, queries, radius: float, k: int) -> SearchResults:
+    def range_search(
+        self, queries, radius: float, k: int, budget: int | None = None
+    ) -> SearchResults:
         """Up to ``k`` within ``radius`` (canonical order), scatter-gathered."""
-        return self.search_fused("range", [queries], radius=radius, k=k)[0]
+        return self.search_fused(
+            "range", [queries], radius=radius, k=k, budget=budget
+        )[0]
 
     def true_knn_search(
         self,
@@ -411,7 +419,12 @@ class ShardedEngine:
         return r0
 
     def search_fused(
-        self, kind: str, query_groups, radius: float, k: int
+        self,
+        kind: str,
+        query_groups,
+        radius: float,
+        k: int,
+        budget: int | None = None,
     ) -> list[SearchResults]:
         """One scatter-gather pass over several query groups.
 
@@ -432,20 +445,32 @@ class ShardedEngine:
                 f"kind must be 'range', 'knn' or 'true_knn', got {kind!r}"
             )
         if kind == "true_knn":
+            if budget is not None:
+                raise ValueError(
+                    "true_knn is incompatible with a step budget: its "
+                    "termination test requires exact bounded rounds"
+                )
             return self._true_knn_fused(list(query_groups), radius, k)
         groups = [as_points(g, "queries") for g in query_groups]
         radius = check_positive(radius, "radius")
         k = check_positive_int(k, "k")
-        return self._fused_pass(kind, groups, radius, k)
+        if budget is not None:
+            budget = check_positive_int(budget, "budget")
+        return self._fused_pass(kind, groups, radius, k, budget=budget)
 
     def _fused_pass(
-        self, kind: str, groups: list, radius: float, k: int
+        self,
+        kind: str,
+        groups: list,
+        radius: float,
+        k: int,
+        budget: int | None = None,
     ) -> list[SearchResults]:
         """One validated bounded scatter-gather pass (``knn``/``range``)."""
         plans = self._scatter_plans(groups, radius)
         calls = self._build_calls(groups, plans)
         routes, failover_delta = self._route(calls)
-        outcomes = self._execute(kind, calls, routes, radius, k)
+        outcomes = self._execute(kind, calls, routes, radius, k, budget)
 
         brute_shards = sorted(
             sid for sid, wid in zip([c.shard_id for c in calls], routes)
@@ -458,7 +483,8 @@ class ShardedEngine:
         results = self._gather(groups, plans, calls, outcomes, k)
 
         report = self._fused_report(
-            groups, calls, outcomes, failover_delta, brute_shards, degraded_groups
+            groups, calls, outcomes, failover_delta, brute_shards,
+            degraded_groups, budget,
         )
         self.batches += 1
         with self.tracer.span("shard.batch", phase="serve") as sp:
@@ -698,6 +724,7 @@ class ShardedEngine:
         routes: list[int | None],
         radius: float,
         k: int,
+        budget: int | None = None,
     ) -> dict[int, SearchResults]:
         """Run every sub-call; one thread per worker, brute inline.
 
@@ -722,9 +749,13 @@ class ShardedEngine:
             for call in jobs[wid]:
                 engine = worker.engine_for(self.shards[call.shard_id])
                 if kind == "knn":
-                    res = engine.knn_search(call.queries, k=k, radius=radius)
+                    res = engine.knn_search(
+                        call.queries, k=k, radius=radius, budget=budget
+                    )
                 else:
-                    res = engine.range_search(call.queries, radius=radius, k=k)
+                    res = engine.range_search(
+                        call.queries, radius=radius, k=k, budget=budget
+                    )
                 worker.busy_s += res.report.modeled_time
                 worker.launches += 1
                 out.append((call.shard_id, res))
@@ -861,19 +892,41 @@ class ShardedEngine:
         failover_delta: int,
         brute_shards: list[int],
         degraded_groups: list[bool],
+        budget: int | None = None,
     ) -> RunReport:
         breakdown = Breakdown()
         is_calls = 0
         steps = 0
         builds = 0
+        exhausted = 0
         for call in calls:
             rep = outcomes[call.shard_id].report
-            if rep is None:          # brute fallback: unmodeled
+            if rep is None:          # brute fallback: unmodeled, exact
                 continue
             breakdown = breakdown + rep.breakdown
             is_calls += rep.is_calls
             steps += rep.traversal_steps
             builds += rep.n_bvh_builds
+            exhausted += rep.extras.get("budget", {}).get(
+                "exhausted_queries", 0
+            )
+        extras: dict = {}
+        if budget is not None:
+            # A boundary query fanned out to several shards may be
+            # counted exhausted once per shard; dividing by the true
+            # group-query count therefore only *understates* recall —
+            # the bound stays a valid lower bound (clamped at 0).
+            n_q = sum(len(g) for g in groups)
+            extras["budget"] = {
+                "step_budget": int(budget),
+                "budget_exhausted": bool(exhausted),
+                "exhausted_queries": int(exhausted),
+                "total_queries": int(n_q),
+                "recall_lower_bound": (
+                    1.0 if n_q == 0
+                    else max(0.0, 1.0 - exhausted / n_q)
+                ),
+            }
         return RunReport(
             breakdown=breakdown,
             is_calls=is_calls,
@@ -893,5 +946,6 @@ class ShardedEngine:
                     "group_sizes": [len(g) for g in groups],
                     "makespan_s": self.modeled_makespan_s,
                 },
+                **extras,
             },
         )

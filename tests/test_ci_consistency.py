@@ -128,3 +128,18 @@ def test_true_knn_smoke_gate_is_wired():
     assert "--mode true-knn" in make_text
     assert "--max-rounds 12" in make_text
     assert "--shards 4" in make_text
+
+
+def test_backend_smoke_gate_is_wired():
+    assert "backend-smoke" in _ci_prerequisites()
+    assert "backend-smoke" in _job_names()
+    make_text = MAKEFILE.read_text()
+    assert "--backend-check" in make_text
+    text = _workflow_text()
+    # The gate must run both matrix legs: pure-NumPy fallback and the
+    # real JIT kernels (installed only on that leg).
+    assert re.search(r"numba:\s*\[", text), (
+        "backend-smoke job has no numba matrix"
+    )
+    assert "pip install numba" in text
+    assert "matrix.numba == 'numba'" in text

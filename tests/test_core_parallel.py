@@ -98,7 +98,8 @@ def test_config_defaults_to_serial():
 # executor building blocks
 # ----------------------------------------------------------------------
 class _FakePipeline:
-    def launch(self, gas, rays, shader, is_kind, tracer=None):
+    def launch(self, gas, rays, shader, is_kind, tracer=None,
+               step_budget=None):
         with tracer.span("launch", phase="traverse"):
             pass
         return gas * 10
@@ -134,7 +135,8 @@ class _FlakyPipeline:
         self.fail = set(fail)
         self.delay_s = dict(delay_s or {})
 
-    def launch(self, gas, rays, shader, is_kind, tracer=None):
+    def launch(self, gas, rays, shader, is_kind, tracer=None,
+               step_budget=None):
         with tracer.span("launch", phase="traverse"):
             pass
         delay = self.delay_s.get(gas, 0.0)
@@ -168,9 +170,11 @@ def test_execute_bundles_drains_pool_before_raising():
     started = []
 
     class _P(_FlakyPipeline):
-        def launch(self, gas, rays, shader, is_kind, tracer=None):
+        def launch(self, gas, rays, shader, is_kind, tracer=None,
+               step_budget=None):
             started.append(gas)
-            return super().launch(gas, rays, shader, is_kind, tracer=tracer)
+            return super().launch(gas, rays, shader, is_kind, tracer=tracer,
+                                  step_budget=step_budget)
 
     # job 0 fails instantly; every other job is slow, so most are still
     # pending when the exception is observed and must be cancelled

@@ -137,9 +137,9 @@ def test_tracer_refinalizes_after_more_recording():
 # end-to-end: every committed bench scenario, replay vs online
 # ----------------------------------------------------------------------
 def test_bench_scenarios_counters_match_online(monkeypatch):
-    from repro.obs.bench import full_suite, run_scenario
+    from repro.obs.bench import find_baseline, full_suite, run_scenario
 
-    baseline_path = Path(__file__).resolve().parents[1] / "BENCH_2026-08-06.json"
+    baseline_path = find_baseline(Path(__file__).resolve().parents[1])
     committed = set(json.loads(baseline_path.read_text())["scenarios"])
     scenarios = [sc for sc in full_suite() if sc.name in committed]
     assert len(scenarios) == len(committed), "committed scenario vanished from suite"

@@ -131,7 +131,7 @@ def test_microbatch_shape_properties():
 
 def test_execute_batch_is_one_fused_engine_pass():
     class _Engine:
-        def search_fused(self, kind, groups, radius, k):
+        def search_fused(self, kind, groups, radius, k, budget=None):
             return [(kind, len(g), radius, k) for g in groups]
 
     batch = MicroBatch([_req(0, n=2), _req(1, n=5)])
