@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-concurrency analyze baseline bench bench-smoke serve-smoke serve-shard-smoke true-knn-smoke backend-smoke profile trace-demo ci
+.PHONY: test lint lint-concurrency analyze baseline bench bench-smoke serve-smoke serve-shard-smoke true-knn-smoke backend-smoke workloads-smoke profile trace-demo ci
 
 # Extra pytest arguments ride in PYTEST_FLAGS (CI passes --junitxml=...).
 test:
@@ -75,6 +75,14 @@ true-knn-smoke:
 backend-smoke:
 	$(PYTHON) -m repro.obs.bench --backend-check
 
+# Downstream-workloads gate: DBSCAN, directed Hausdorff, and a 5-step
+# SPH trajectory run on three serving paths (solo session, fused
+# service, 4-shard service); fails unless every output is bit-identical
+# across paths AND exactly equal to its brute-force oracle (labels,
+# witness pair, full trajectory).
+workloads-smoke:
+	$(PYTHON) -m repro.cli workload --check --shards 4 --seed 7
+
 # cProfile the fully-optimized large scenario (override with
 # PROFILE_SCENARIO=<name> to pick another suite entry).
 profile:
@@ -87,4 +95,4 @@ trace-demo:
 # Everything CI gates on, in the same order as .github/workflows/ci.yml
 # runs its jobs; tests/test_ci_consistency.py cross-checks the two so
 # they cannot drift.
-ci: test analyze lint-concurrency bench-smoke serve-smoke serve-shard-smoke true-knn-smoke backend-smoke
+ci: test analyze lint-concurrency bench-smoke serve-smoke serve-shard-smoke true-knn-smoke backend-smoke workloads-smoke

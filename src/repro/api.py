@@ -75,13 +75,28 @@ class SearchSession:
             queries, k=k, radius=radius, policy=policy
         )
 
+    def count_in_radius(self, queries, radius: float) -> SearchResults:
+        """Exact per-query neighbor counts within ``radius``.
+
+        Aggregate-only fast path: identical traversal and sphere tests
+        as :meth:`range_search`, but no neighbor rows are materialized
+        and counts never saturate at a ``k`` cap —
+        ``results.indices``/``results.sq_distances`` are zero-width and
+        ``results.counts`` is the exact within-radius population.
+        """
+        return self.engine.count_in_radius(queries, radius=radius)
+
     def update_points(self, points) -> float:
         """Move the point set; cached structures are refit when the
         count is unchanged (see :meth:`RTNNEngine.update_points`)."""
         return self.engine.update_points(points)
 
     def with_config(self, **changes) -> "SearchSession":
-        """A new session with config fields replaced (cold cache)."""
+        """A new session with config fields replaced (cold cache).
+
+        Unknown field names raise :exc:`ValueError` with a
+        nearest-match hint (exit code 2 through the CLI contract).
+        """
         session = SearchSession.__new__(SearchSession)
         session.engine = self.engine.with_config(**changes)
         return session

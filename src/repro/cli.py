@@ -5,6 +5,8 @@ Subcommands::
     repro search      --dataset KITTI-12M --mode knn -k 8        # or --points file.ply
     repro serve       --dataset uniform-1M --rps 200 --duration 2  # micro-batching service
     repro serve       --dataset uniform-1M --shards 4 --shard-smoke  # sharded scale gate
+    repro workload    --check                                    # workloads smoke gate
+    repro workload    --dataset uniform-1M --workload dbscan -r 0.05  # downstream pipeline
     repro trace       --dataset uniform-1M --scale 0.01          # span tree + counters
     repro datasets    [--generate NAME --out cloud.ply]
     repro experiments [--only fig11] [--scale 0.25]
@@ -509,6 +511,193 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _add_workload(sub):
+    p = sub.add_parser(
+        "workload",
+        help="run a downstream workload pipeline (dbscan/hausdorff/sph)",
+    )
+    p.add_argument("--check", action="store_true",
+                   help="gate mode: small DBSCAN + Hausdorff + 5-step SPH vs "
+                        "brute oracles, asserted bit-identical across the "
+                        "solo / fused-serve / --shards paths")
+    src = p.add_mutually_exclusive_group()
+    src.add_argument("--points", help="point cloud file (.ply/.xyz)")
+    src.add_argument("--dataset", choices=sorted(DATASETS), help="registry dataset")
+    p.add_argument("--scale", type=float, default=1.0, help="registry dataset scale")
+    p.add_argument("--workload", choices=("dbscan", "hausdorff", "sph"),
+                   default="dbscan", help="pipeline to run (default dbscan)")
+    p.add_argument("--queries", help="Hausdorff A set file (default: a "
+                   "seeded uniform cloud over the point extent)")
+    p.add_argument("-r", "--radius", type=float,
+                   help="eps (dbscan) / interaction radius (sph); default "
+                        "registry radius or scene-extent/100")
+    p.add_argument("--min-pts", type=int, default=4,
+                   help="dbscan core threshold, self-inclusive (default 4)")
+    p.add_argument("--batch-size", type=int, default=256,
+                   help="dbscan frontier batch size (default 256)")
+    p.add_argument("--chunk-size", type=int, default=256,
+                   help="hausdorff A-chunk size (default 256)")
+    p.add_argument("--steps", type=int, default=5,
+                   help="sph step count (default 5; also the --check "
+                        "trajectory length)")
+    p.add_argument("--dt", type=float, default=1e-3, help="sph step size")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="drive a sharded SearchService instead of the solo "
+                        "session (default: solo; --check default 4)")
+    p.add_argument("--fan", type=int, default=2,
+                   help="concurrent submit chunks per serve batch (default 2)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="seed for generated clouds (default 7)")
+    p.add_argument("--oracle", action="store_true",
+                   help="also run the brute oracle and assert exact equality")
+    p.add_argument("--json", dest="json_out", metavar="PATH",
+                   help="write the workload RunReport as JSON ('-' for stdout)")
+
+
+def _cmd_workload(args) -> int:
+    import contextlib
+    import json
+
+    from repro.api import SearchSession
+    from repro.obs import RecordingTracer, RunReport
+    from repro.workloads import (
+        DBSCANConfig,
+        HausdorffConfig,
+        SPHConfig,
+        SessionClient,
+        brute_dbscan,
+        brute_hausdorff,
+        brute_sph,
+        run_dbscan,
+        run_hausdorff,
+        run_sph,
+        service_client,
+    )
+
+    if args.check:
+        from repro.workloads.check import workloads_smoke
+
+        shards = args.shards if args.shards is not None else 4
+        if shards < 2:
+            raise _cli_error(f"--check needs --shards >= 2, got {shards}")
+        try:
+            summary = workloads_smoke(
+                shards=shards,
+                seed=args.seed,
+                fan=args.fan,
+                sph_steps=args.steps,
+            )
+        except AssertionError as exc:
+            print(f"workloads-smoke FAILED: {exc}", file=sys.stderr)
+            return 1
+        d, h, s = summary["dbscan"], summary["hausdorff"], summary["sph"]
+        print(f"workloads-smoke ok: paths {'/'.join(summary['paths'])} "
+              f"bit-identical and oracle-exact")
+        print(f"  dbscan: {d['clusters']} clusters, {d['noise']} noise, "
+              f"{d['rounds']} frontier rounds")
+        print(f"  hausdorff: h={h['distance']:.6g}, witness "
+              f"({h['witness'][0]}, {h['witness'][1]}), {h['pruned']} pruned")
+        print(f"  sph: {s['steps']} steps, {s['neighbor_pairs']} neighbor "
+              f"pairs, trajectories bit-identical vs brute stepper")
+        return 0
+
+    if not (args.points or args.dataset):
+        raise _cli_error("--points or --dataset is required (or --check)")
+    _validate_point_args(args)
+    if args.dataset:
+        points, spec = load(args.dataset, scale=args.scale)
+        radius = args.radius if args.radius else spec.radius
+    else:
+        points = _load_points(args.points)
+        radius = args.radius
+        if radius is None:
+            extent = float((points.max(axis=0) - points.min(axis=0)).max())
+            radius = extent / 100.0
+
+    tracer = RecordingTracer()
+    session = SearchSession(points, tracer=tracer)
+    if args.shards is not None:
+        client_ctx = service_client(session, shards=args.shards, fan=args.fan)
+    else:
+        client_ctx = contextlib.nullcontext(SessionClient(session))
+
+    with client_ctx as client:
+        if args.workload == "dbscan":
+            cfg = DBSCANConfig(eps=radius, min_pts=args.min_pts,
+                               batch_size=args.batch_size)
+            res = run_dbscan(client, cfg, tracer)
+            stats = res.stats
+            print(f"dbscan: {len(points)} points, eps={radius:g}, "
+                  f"min_pts={args.min_pts}")
+            print(f"  {res.n_clusters} clusters, {stats['core_points']} core, "
+                  f"{stats['border_points']} border, "
+                  f"{stats['noise_points']} noise "
+                  f"({stats['rounds']} frontier rounds, "
+                  f"{stats['edges']} edges)")
+            if args.oracle:
+                labels, _, counts, _ = brute_dbscan(points, cfg)
+                assert np.array_equal(res.labels, labels), "labels != oracle"
+                assert np.array_equal(res.counts, counts), "counts != oracle"
+                print("  oracle: labels exactly equal")
+        elif args.workload == "hausdorff":
+            if args.queries:
+                queries = _load_points(args.queries)
+            else:
+                from repro.utils.rng import default_rng
+
+                rng = default_rng(args.seed)
+                lo, hi = points.min(axis=0), points.max(axis=0)
+                queries = lo + rng.random(points.shape) * (hi - lo)
+            cfg = HausdorffConfig(chunk_size=args.chunk_size)
+            res = run_hausdorff(client, queries, cfg, tracer)
+            stats = res.stats
+            print(f"hausdorff: |A|={len(queries)}, |B|={len(points)}")
+            print(f"  h(A,B) = {res.distance:.6g} at A[{res.index_a}] -> "
+                  f"B[{res.index_b}] ({stats['chunks']} chunks, "
+                  f"{stats['rounds']} rounds, {stats['pruned']} pruned)")
+            if args.oracle:
+                hd2, ia, ib = brute_hausdorff(queries, points)
+                assert (res.sq_distance, res.index_a, res.index_b) == (
+                    hd2, ia, ib), "hausdorff != oracle"
+                print("  oracle: distance and witness exactly equal")
+        else:
+            cfg = SPHConfig(radius=radius, dt=args.dt, n_steps=args.steps)
+            res = run_sph(client, cfg, tracer=tracer)
+            stats = res.stats
+            drift = float(np.abs(res.positions - points).max())
+            print(f"sph: {len(points)} points, h={radius:g}, dt={args.dt:g}, "
+                  f"{args.steps} steps")
+            print(f"  {stats['neighbor_pairs']} neighbor pairs, k per step "
+                  f"{stats['k_per_step']}, refit {stats['refit_s']:.3g} "
+                  f"modeled s, max |dx| {drift:.3g}")
+            if args.oracle:
+                x, v = brute_sph(points, cfg)
+                assert np.array_equal(res.positions, x), "positions != oracle"
+                assert np.array_equal(res.velocities, v), "velocities != oracle"
+                print("  oracle: trajectory bit-identical")
+
+    if args.json_out:
+        report = RunReport.from_run(
+            f"workload {args.workload}",
+            tracer,
+            scenario={
+                "workload": args.workload,
+                "n_points": len(points),
+                "radius": radius,
+                "shards": args.shards,
+            },
+            extras={"workload": stats},
+        )
+        if args.json_out == "-":
+            print(report.to_json())
+        else:
+            with open(args.json_out, "w") as fh:
+                fh.write(report.to_json())
+                fh.write("\n")
+            print(f"report written to {args.json_out}")
+    return 0
+
+
 def _add_trace(sub):
     p = sub.add_parser(
         "trace",
@@ -658,6 +847,7 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_search(sub)
     _add_serve(sub)
+    _add_workload(sub)
     _add_trace(sub)
     _add_datasets(sub)
     _add_experiments(sub)
@@ -684,6 +874,8 @@ def main(argv=None) -> int:
             return _cmd_search(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "workload":
+            return _cmd_workload(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "datasets":

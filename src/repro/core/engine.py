@@ -14,7 +14,8 @@ Fig. 13 (NoOpt / Sched / +Partition / +Bundle).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import difflib
+from dataclasses import dataclass, fields, replace
 
 import numpy as np
 
@@ -30,7 +31,7 @@ from repro.core.expansion import (
 )
 from repro.core.parallel import BundleJob, execute_bundles, graft_spans
 from repro.core.partition import compute_megacells, default_cell_size, make_partitions
-from repro.core.queues import KnnQueueBatch, RangeAccumulator
+from repro.core.queues import CountAccumulator, KnnQueueBatch, RangeAccumulator
 from repro.core.results import RunReport, SearchResults
 from repro.core.scheduling import schedule_queries
 from repro.core.shaders import KnnShader, RangeShader
@@ -211,6 +212,21 @@ class RTNNEngine:
         """
         return self._run("knn", queries, radius, k, budget=budget)
 
+    def count_in_radius(self, queries, radius: float) -> SearchResults:
+        """Exact per-query neighbor counts within ``radius``.
+
+        The aggregate-only fast path: traversal, partitioning, and
+        sphere testing are identical to :meth:`range_search`, but no
+        neighbor indices or distances are materialized and rays never
+        Any-Hit terminate — so ``results.counts`` is the exact
+        within-radius population (never k-capped) while
+        ``results.indices``/``results.sq_distances`` are zero-width.
+        Counts are bit-checked against k-escalated ``range`` counts in
+        the test suite. The Section-8 ``approx_elide_sphere_test``
+        approximation applies exactly as it does to range search.
+        """
+        return self._run("count", queries, radius, 1)
+
     def true_knn_search(
         self,
         queries,
@@ -302,7 +318,11 @@ class RTNNEngine:
     def _make_bundles(self, kind, queries, radius, k, breakdown):
         cfg = self.config
         n_q = len(queries)
-        if cfg.partition:
+        # Megacell partitioning exploits the k cap (growth retires a
+        # query once >= k points are guaranteed); counting has no cap,
+        # so its only exact AABB is the full 2r with the sphere test —
+        # every count query takes the single capped-style bundle.
+        if cfg.partition and kind != "count":
             with self.tracer.span("partition", phase="partition") as sp:
                 mc = compute_megacells(
                     self.points,
@@ -438,6 +458,8 @@ class RTNNEngine:
 
         if kind == "knn":
             acc = KnnQueueBatch(n_q, k, radius)
+        elif kind == "count":
+            acc = CountAccumulator(n_q)
         else:
             acc = RangeAccumulator(n_q, k)
 
@@ -885,10 +907,30 @@ class RTNNEngine:
     def with_config(self, **changes) -> "RTNNEngine":
         """A copy of this engine with config fields replaced.
 
+        Unknown field names raise :exc:`ValueError` (with a
+        nearest-match hint) rather than the bare ``TypeError`` a
+        ``dataclasses.replace`` would emit — the CLI maps ``ValueError``
+        to a one-line message and exit code 2, so a typo'd knob fails
+        loudly instead of surfacing as a traceback.
+
         The copy starts with a cold GAS cache: config changes
         invalidate cached structures (``leaf_size`` feeds the build,
         and a fresh cache keeps the semantics obvious for the rest).
         """
+        valid = sorted(f.name for f in fields(RTNNConfig))
+        unknown = sorted(set(changes) - set(valid))
+        if unknown:
+            hints = []
+            for name in unknown:
+                close = difflib.get_close_matches(name, valid, n=1)
+                hint = f" (did you mean {close[0]!r}?)" if close else ""
+                hints.append(f"{name!r}{hint}")
+            raise ValueError(
+                "unknown config field(s): "
+                + ", ".join(hints)
+                + "; valid fields: "
+                + ", ".join(valid)
+            )
         return RTNNEngine(
             self.points,
             device=self.device,

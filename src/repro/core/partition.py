@@ -12,10 +12,13 @@ prose, which speaks of the sphere-inscribed cube):
   distance from the query to a corner of a level-``g`` megacell is
   ``sqrt(3) * (g + 1) * cell``. Growth to level ``g`` is allowed only
   while that bound stays within ``r``; this guarantees every point in
-  the megacell is a true ``r``-neighbor *and* that the level-``g``
-  query-centered Chebyshev box is inscribed in the sphere (so range
-  search may skip the sphere test — Section 5.1's "significant
-  performance gain").
+  the megacell is a true ``r``-neighbor *and* that the query-centered
+  Chebyshev box of width ``2 * (g + 1) * cell`` — the smallest box
+  guaranteed to recover every counted megacell point from any query
+  position in the center cell, and therefore the uncapped range
+  partitions' AABB width — is inscribed in the sphere (so range search
+  may skip the sphere test — Section 5.1's "significant performance
+  gain").
 * queries whose megacell hits the sphere bound before reaching K points
   are *capped*: they fall back to the full ``2r`` AABB with the sphere
   test enabled, because valid neighbors may lie between the inscribed
@@ -192,7 +195,15 @@ def make_partitions(
         ids = np.flatnonzero(uncapped & (mc.level == g))
         c_width = (2 * int(g) + 1) * cell
         if kind == "range":
-            s = c_width * shrink
+            # The retirement count was taken over the grid-aligned
+            # megacell, whose points sit up to Chebyshev (g + 1) * cell
+            # from a query anywhere in its center cell — a width of
+            # 2 * (g + 1) * cell is the smallest query-centered box
+            # guaranteed to recover all >= k counted points. It still
+            # inscribes the r-sphere (the growth bound is exactly
+            # sqrt(3) * (g + 1) * cell <= r), so the sphere-test skip
+            # stays sound.
+            s = 2.0 * (int(g) + 1) * cell * shrink
             test = False
         else:
             s = knn_aabb_width(c_width, knn_aabb, int(g), cell) * shrink

@@ -1,6 +1,7 @@
 """Vectorized per-query neighbor accumulators.
 
-Two flavors, matching the paper's two search types:
+Three flavors, matching the paper's two search types plus the
+aggregate-only count query built on top of them:
 
 * :class:`KnnQueueBatch` — a bounded priority queue per query (the KNN
   IS shader "operates a priority queue"); keeps the K smallest
@@ -8,6 +9,10 @@ Two flavors, matching the paper's two search types:
 * :class:`RangeAccumulator` — an append-only bounded list per query
   (range search records any neighbor within r until K are found, then
   terminates the ray via Any-Hit).
+* :class:`CountAccumulator` — a bare tally per query (aggregate-only
+  ``count_in_radius``): no neighbor indices or distances are ever
+  materialized, and no ray terminates early, so counts are exact and
+  never k-capped.
 
 Both process *batches* of (query, candidate) pairs; within one batch a
 query may appear at most once (the lockstep traversal guarantees this:
@@ -120,3 +125,27 @@ class RangeAccumulator:
         self.d2[q, slots] = d2[open_slot]
         self.count[q] = slots + 1
         return q[slots + 1 == self.k]
+
+
+class CountAccumulator:
+    """Aggregate-only tallies, one per query (``count_in_radius``).
+
+    Shares the :class:`RangeAccumulator` insert protocol so the range
+    IS shader drives it unchanged: radius filtering stays the shader's
+    job, but nothing is materialized — ``idx``/``d2`` are zero-width
+    and ``insert`` only bumps the tally. It never reports a full query,
+    so no ray Any-Hit terminates and the final counts are the *exact*
+    within-radius population (range counts saturate at ``k``).
+    """
+
+    def __init__(self, n_queries: int):
+        self.n_queries = n_queries
+        self.k = 0
+        self.idx, self.count, self.d2 = empty_results(n_queries, 0)
+        self._no_full = np.empty(0, dtype=np.int64)
+
+    def insert(self, qids: np.ndarray, pids: np.ndarray, d2: np.ndarray) -> np.ndarray:
+        """Tally one candidate per (unique) query id; terminate nothing."""
+        if len(qids):
+            np.add.at(self.count, qids, 1)
+        return self._no_full

@@ -82,6 +82,13 @@ def _kitti(n: int, seed: int) -> np.ndarray:
 #: carry the expansion round count and a bit-identity verdict against
 #: the brute-force exact-kNN oracle, gated by
 #: :func:`check_true_knn_oracle`.
+#: The ``dbscan-*``/``hausdorff-*``/``sph-*`` families run the
+#: downstream workload pipelines (repro.workloads) end to end through a
+#: SearchSession; ``radius`` is the workload's eps/interaction radius
+#: and ``k`` its remaining knob (min_pts, chunk size, or step count).
+#: Their records carry the workload span counters plus a
+#: ``workload_oracle_ok`` verdict against the brute oracle, gated by
+#: :func:`check_workload_oracle`.
 _FAMILIES = {
     "kitti": (_kitti, 4.0, "range", 32),
     "uniform": (_uniform, 0.15, "knn", 8),
@@ -91,7 +98,13 @@ _FAMILIES = {
     "clustered-tight": (_clustered, 0.002, "knn", 4),
     "uniform-tknn": (_uniform, None, "true_knn", 16),
     "clustered-tknn": (_clustered, None, "true_knn", 12),
+    "dbscan-clustered": (_clustered, 0.03, "dbscan", 5),
+    "dbscan-uniform": (_uniform, 0.12, "dbscan", 4),
+    "hausdorff-uniform": (_uniform, None, "hausdorff", 64),
+    "sph-clustered": (_clustered, 0.05, "sph", 3),
 }
+
+_WORKLOAD_MODES = ("dbscan", "hausdorff", "sph")
 
 
 @dataclass(frozen=True)
@@ -191,6 +204,16 @@ def smoke_suite() -> list[Scenario]:
                  variant="sched+part", backend="numba"),
         Scenario(family="uniform", n_points=400, n_queries=160,
                  variant="sched+part", budget=12),
+    ] + [
+        # Downstream workload pipelines driven end to end through a
+        # SearchSession; every record pins the workload span counters
+        # and check_workload_oracle gates the brute-oracle verdicts.
+        Scenario(family="dbscan-clustered", n_points=300, n_queries=300,
+                 variant="sched+part"),
+        Scenario(family="hausdorff-uniform", n_points=300, n_queries=120,
+                 variant="sched+part"),
+        Scenario(family="sph-clustered", n_points=240, n_queries=240,
+                 variant="sched+part"),
     ]
 
 
@@ -212,6 +235,18 @@ def full_suite() -> list[Scenario]:
     ] + [
         Scenario(family="clustered", n_points=2000, n_queries=700,
                  variant="sched+part", backend="numba"),
+    ] + [
+        # Larger workload sweeps: the baseline-variant DBSCAN twin pins
+        # variant-independence of the labels, the uniform family a
+        # second density regime.
+        Scenario(family="dbscan-clustered", n_points=300, n_queries=300,
+                 variant="noopt"),
+        Scenario(family="dbscan-uniform", n_points=600, n_queries=600,
+                 variant="sched+part"),
+        Scenario(family="hausdorff-uniform", n_points=800, n_queries=300,
+                 variant="sched+part"),
+        Scenario(family="sph-clustered", n_points=400, n_queries=400,
+                 variant="sched+part"),
     ]
 
 
@@ -244,10 +279,106 @@ def _int_counters(counters: dict) -> dict:
     }
 
 
+def _run_workload_scenario(
+    scenario: Scenario, gen, points, mode: str, radius, k: int
+) -> dict:
+    """Execute one downstream-workload scenario end to end.
+
+    The pipeline drives a solo :class:`~repro.api.SearchSession` (the
+    bench pins the session path; cross-path bit-identity is the
+    ``workloads-smoke`` gate's job) and the record carries the workload
+    span counters, a deterministic result checksum, and a
+    ``workload_oracle_ok`` verdict against the brute-force oracle.
+    """
+    # Imported lazily: the classic engine scenarios never need the
+    # workload pipelines.
+    from repro.api import SearchSession
+    from repro.workloads import (
+        DBSCANConfig,
+        HausdorffConfig,
+        SessionClient,
+        SPHConfig,
+        brute_dbscan,
+        brute_hausdorff,
+        brute_sph,
+        run_dbscan,
+        run_hausdorff,
+        run_sph,
+    )
+
+    tracer = RecordingTracer()
+    session = SearchSession(points, config=scenario.config(), tracer=tracer)
+    client = SessionClient(session)
+    t0 = time.perf_counter()
+    if mode == "dbscan":
+        cfg = DBSCANConfig(eps=radius, min_pts=k, batch_size=64)
+        out = run_dbscan(client, cfg, tracer=tracer)
+        wall = time.perf_counter() - t0
+        o_labels, _o_core, o_counts, o_clusters = brute_dbscan(points, cfg)
+        oracle_ok = (
+            np.array_equal(out.labels, o_labels)
+            and np.array_equal(out.counts, o_counts)
+            and out.n_clusters == o_clusters
+        )
+        neighbors = int(out.counts.sum())
+        checksum = int(out.labels.sum())
+        workload = dict(out.stats)
+    elif mode == "hausdorff":
+        cfg = HausdorffConfig(chunk_size=k)
+        queries_a = gen(scenario.n_queries, scenario.seed + 1)
+        out = run_hausdorff(client, queries_a, cfg, tracer=tracer)
+        wall = time.perf_counter() - t0
+        o_hd2, o_ia, o_ib = brute_hausdorff(queries_a, points)
+        oracle_ok = out.sq_distance == o_hd2 and (
+            (out.index_a, out.index_b) == (o_ia, o_ib)
+        )
+        neighbors = int(out.stats["relaunched"])
+        checksum = int(out.index_a) * len(points) + int(out.index_b)
+        workload = dict(out.stats, sq_distance=out.sq_distance)
+    else:  # sph
+        cfg = SPHConfig(radius=radius, n_steps=k)
+        out = run_sph(client, cfg, tracer=tracer)
+        wall = time.perf_counter() - t0
+        o_x, o_v = brute_sph(points, cfg)
+        oracle_ok = np.array_equal(out.positions, o_x) and np.array_equal(
+            out.velocities, o_v
+        )
+        neighbors = int(out.stats["neighbor_pairs"])
+        # Bit-exact trajectory fingerprint: the raw float64 words summed
+        # as int64 (wraps mod 2**64 — deterministic).
+        checksum = int(out.positions.view(np.int64).sum())
+        workload = dict(out.stats)
+
+    report = RunReport.from_run(
+        scenario.name, tracer, extras={"workload": workload}
+    )
+    return {
+        "counters": _int_counters(report.counters),
+        "phases": {
+            phase: {
+                "modeled_s": stats.modeled_s,
+                "counters": _int_counters(stats.counters),
+            }
+            for phase, stats in report.phases.items()
+        },
+        "breakdown": report.breakdown,
+        # No single SearchResults carries a whole-pipeline breakdown;
+        # the modeled time is the sum over the traced engine phases.
+        "modeled_s": sum(s.modeled_s for s in report.phases.values()),
+        "wall_s": wall,
+        "neighbors": neighbors,
+        "checksum": checksum,
+        "workload": workload,
+        "workload_oracle_ok": bool(oracle_ok),
+    }
+
+
 def run_scenario(scenario: Scenario) -> dict:
     """Execute one scenario and return its bench record."""
     gen, radius, mode, k = _FAMILIES[scenario.family]
     points = gen(scenario.n_points, scenario.seed)
+    if mode in _WORKLOAD_MODES:
+        return _run_workload_scenario(scenario, gen, points, mode, radius, k)
     queries = points[: scenario.n_queries]
 
     tracer = RecordingTracer()
@@ -581,6 +712,27 @@ def check_true_knn_oracle(payload: dict) -> list[str]:
     return failures
 
 
+def check_workload_oracle(payload: dict) -> list[str]:
+    """Assert every workload scenario matched its brute oracle.
+
+    :func:`_run_workload_scenario` stamps ``workload_oracle_ok`` —
+    exact equality of DBSCAN labels/counts, the Hausdorff distance and
+    witness pair, or the full SPH trajectory against the brute-force
+    recomputation. A ``False`` is a correctness bug in the pipeline or
+    the engine, never noise.
+    """
+    failures: list[str] = []
+    for name, rec in sorted(payload.get("scenarios", {}).items()):
+        if "workload_oracle_ok" not in rec:
+            continue
+        if not rec["workload_oracle_ok"]:
+            failures.append(
+                f"{name}: workload result diverged from its brute-force "
+                f"oracle"
+            )
+    return failures
+
+
 def compare_records(
     current: dict,
     baseline: dict,
@@ -840,6 +992,18 @@ def main(argv=None) -> int:
         status = 1
     else:
         print("bench: true-knn scenarios match the brute exact-kNN oracle")
+
+    wl_failures = check_workload_oracle(payload)
+    if wl_failures:
+        print(
+            f"bench: {len(wl_failures)} workload oracle divergence(s):",
+            file=sys.stderr,
+        )
+        for failure in wl_failures:
+            print(f"  FAIL {failure}", file=sys.stderr)
+        status = 1
+    else:
+        print("bench: workload scenarios match their brute oracles")
 
     if args.baseline:
         baseline_path = Path(args.baseline)

@@ -234,6 +234,21 @@ class SearchService:
             shards=shard_rollup() if callable(shard_rollup) else None,
         )
 
+    def update_points(self, points) -> float:
+        """Move the held engine's point set between requests.
+
+        Delegates to the engine's ``update_points`` (solo engines refit
+        cached GASes in place; a sharded topology re-shards), then
+        refreshes the service's point-set fingerprint so subsequent
+        micro-batches group under the new compat key. The caller must
+        ensure no requests are in flight — the service does not fence
+        the worker loop around structure updates; workload steppers
+        drive it strictly between settled rounds.
+        """
+        refit_s = self.engine.update_points(points)
+        self._points_fp = getattr(self.engine, "_points_fp", "")
+        return refit_s
+
     # ------------------------------------------------------------------
     # client surface
     # ------------------------------------------------------------------

@@ -1,0 +1,46 @@
+"""Downstream workload pipelines over the serving stack.
+
+End-to-end consumers of the neighbor-search primitive — density
+clustering (DBSCAN), bichromatic distance (directed Hausdorff), and a
+dynamic SPH/n-body stepper — each driving the engine exclusively
+through :class:`~repro.api.SearchSession` or a live
+:class:`~repro.serve.service.SearchService` (see
+:mod:`repro.workloads.client`), with brute-force oracles and
+bit-stability contracts across serving paths. ``docs/workloads.md``
+has the algorithm sketches and determinism contracts.
+"""
+
+from repro.workloads.client import (
+    ServiceClient,
+    SessionClient,
+    canonical_rows,
+    service_client,
+)
+from repro.workloads.dbscan import DBSCANConfig, DBSCANResult, run_dbscan
+from repro.workloads.hausdorff import (
+    HausdorffConfig,
+    HausdorffResult,
+    run_hausdorff,
+)
+from repro.workloads.oracles import brute_dbscan, brute_hausdorff, brute_sph
+from repro.workloads.sph import SPHConfig, SPHResult, interaction_forces, run_sph
+
+__all__ = [
+    "SessionClient",
+    "ServiceClient",
+    "service_client",
+    "canonical_rows",
+    "DBSCANConfig",
+    "DBSCANResult",
+    "run_dbscan",
+    "HausdorffConfig",
+    "HausdorffResult",
+    "run_hausdorff",
+    "SPHConfig",
+    "SPHResult",
+    "run_sph",
+    "interaction_forces",
+    "brute_dbscan",
+    "brute_hausdorff",
+    "brute_sph",
+]

@@ -1,0 +1,144 @@
+"""The workloads smoke gate: oracles + cross-path bit-identity.
+
+``repro workload --check`` (the ``workloads-smoke`` CI gate) runs a
+small DBSCAN, a directed Hausdorff, and a 5-step SPH trajectory on
+three serving paths — solo :class:`SessionClient`, fused
+:class:`SearchService`, and a sharded service — asserting every output
+bit-identical across paths and exactly equal to its brute oracle.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+from repro.api import SearchSession
+from repro.serve.service import ServiceConfig
+from repro.utils.rng import default_rng
+from repro.workloads.client import SessionClient, service_client
+from repro.workloads.dbscan import DBSCANConfig, run_dbscan
+from repro.workloads.hausdorff import HausdorffConfig, run_hausdorff
+from repro.workloads.oracles import brute_dbscan, brute_hausdorff, brute_sph
+from repro.workloads.sph import SPHConfig, run_sph
+
+#: tight batching window so the smoke gate's fanned submits stay quick
+_SERVE_CONFIG = ServiceConfig(batch_window_s=0.002)
+
+
+def clustered_cloud(n: int, seed: int, spread: float = 0.02) -> np.ndarray:
+    """A deterministic clustered point cloud in the unit cube."""
+    rng = default_rng(seed)
+    centers = rng.random((8, 3))
+    pts = centers[rng.integers(0, 8, n)] + rng.normal(0.0, spread, (n, 3))
+    return np.clip(pts, 0.0, 1.0)
+
+
+@contextlib.contextmanager
+def _client(points, path: str, shards: int, fan: int):
+    """One workload client per serving path, over a fresh session."""
+    session = SearchSession(points)
+    if path == "solo":
+        yield SessionClient(session)
+    elif path == "fused":
+        with service_client(session, fan=fan, config=_SERVE_CONFIG) as c:
+            yield c
+    else:  # sharded
+        with service_client(
+            session, shards=shards, fan=fan, config=_SERVE_CONFIG
+        ) as c:
+            yield c
+
+
+def workloads_smoke(
+    n_points: int = 300,
+    n_queries: int = 120,
+    shards: int = 4,
+    seed: int = 7,
+    fan: int = 2,
+    sph_steps: int = 5,
+) -> dict:
+    """Run all three workloads on all three paths; assert exactness.
+
+    Returns a summary dict for the CLI to print. Raises
+    ``AssertionError`` on any oracle or cross-path mismatch.
+    """
+    paths = ("solo", "fused", f"sh{shards}")
+    points_b = clustered_cloud(n_points, seed)
+    queries_a = clustered_cloud(n_queries, seed + 1)
+    summary: dict = {"paths": list(paths)}
+
+    # --- DBSCAN ------------------------------------------------------
+    dcfg = DBSCANConfig(eps=0.05, min_pts=5, batch_size=64)
+    d_runs = {}
+    for path in paths:
+        with _client(points_b, path, shards, fan) as client:
+            d_runs[path] = run_dbscan(client, dcfg)
+    ref = d_runs["solo"]
+    for path in paths[1:]:
+        assert np.array_equal(d_runs[path].labels, ref.labels), (
+            f"dbscan labels diverge on {path}"
+        )
+        assert np.array_equal(d_runs[path].counts, ref.counts), (
+            f"dbscan counts diverge on {path}"
+        )
+    o_labels, o_core, o_counts, o_clusters = brute_dbscan(points_b, dcfg)
+    assert np.array_equal(ref.labels, o_labels), "dbscan labels != oracle"
+    assert np.array_equal(ref.counts, o_counts), "dbscan counts != oracle"
+    assert ref.n_clusters == o_clusters, "dbscan cluster count != oracle"
+    summary["dbscan"] = {
+        "clusters": ref.n_clusters,
+        "noise": ref.stats["noise_points"],
+        "rounds": ref.rounds,
+    }
+
+    # --- Hausdorff ---------------------------------------------------
+    hcfg = HausdorffConfig(chunk_size=48)
+    h_runs = {}
+    for path in paths:
+        with _client(points_b, path, shards, fan) as client:
+            h_runs[path] = run_hausdorff(client, queries_a, hcfg)
+    href = h_runs["solo"]
+    for path in paths[1:]:
+        got = h_runs[path]
+        assert got.sq_distance == href.sq_distance, (
+            f"hausdorff distance diverges on {path}"
+        )
+        assert (got.index_a, got.index_b) == (href.index_a, href.index_b), (
+            f"hausdorff witness diverges on {path}"
+        )
+    o_hd2, o_ia, o_ib = brute_hausdorff(queries_a, points_b)
+    assert href.sq_distance == o_hd2, "hausdorff distance != oracle"
+    assert (href.index_a, href.index_b) == (o_ia, o_ib), (
+        "hausdorff witness != oracle"
+    )
+    summary["hausdorff"] = {
+        "distance": href.distance,
+        "witness": [href.index_a, href.index_b],
+        "pruned": href.stats["pruned"],
+    }
+
+    # --- SPH ---------------------------------------------------------
+    scfg = SPHConfig(radius=0.06, dt=1e-3, n_steps=sph_steps)
+    s_runs = {}
+    for path in paths:
+        with _client(points_b, path, shards, fan) as client:
+            s_runs[path] = run_sph(client, scfg)
+    sref = s_runs["solo"]
+    for path in paths[1:]:
+        got = s_runs[path]
+        assert np.array_equal(got.positions, sref.positions), (
+            f"sph positions diverge on {path}"
+        )
+        assert np.array_equal(got.velocities, sref.velocities), (
+            f"sph velocities diverge on {path}"
+        )
+    o_x, o_v = brute_sph(points_b, scfg)
+    assert np.array_equal(sref.positions, o_x), "sph positions != oracle"
+    assert np.array_equal(sref.velocities, o_v), "sph velocities != oracle"
+    summary["sph"] = {
+        "steps": sph_steps,
+        "neighbor_pairs": sref.stats["neighbor_pairs"],
+        "refit_s": sref.stats["refit_s"],
+    }
+    return summary

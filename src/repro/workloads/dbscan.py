@@ -1,0 +1,217 @@
+"""RT-DBSCAN: density clustering by range-query region growing.
+
+The classic DBSCAN recurrence — grow clusters outward from core
+points — maps directly onto the engine's range primitive (RT-DBSCAN,
+PAPERS.md): one aggregate ``count`` pass classifies core points, then
+batched frontier rounds fetch the neighborhoods of (only) unvisited
+core points, mirroring the ``run_expansion`` relaunch idiom.
+
+Determinism contract: labels are **bit-stable** across the solo,
+fused-serve, and sharded paths, because every step consumes only
+path-independent values — within-radius counts and neighbor *sets* —
+and the labeling itself is canonical:
+
+* union-find merges always attach the larger root under the smaller,
+  so each component's representative is its minimum member index
+  (independent of edge discovery order);
+* final labels renumber components by ascending representative;
+* a border point joins the cluster of its **minimum-index** core
+  neighbor; points that are neither core nor within ``eps`` of a core
+  point are noise (label ``-1``).
+
+The brute oracle (:func:`repro.workloads.oracles.brute_dbscan`)
+replays the same canonical rules over exhaustively computed
+neighborhoods, so pipeline labels match it exactly — not merely up to
+renaming (the test suite checks both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.utils.validate import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class DBSCANConfig:
+    """Knobs of the DBSCAN pipeline.
+
+    ``min_pts`` counts the point itself (the sklearn ``min_samples``
+    convention: a point is core when its closed eps-neighborhood holds
+    at least ``min_pts`` points). ``batch_size`` caps how many frontier
+    points one round expands.
+    """
+
+    eps: float
+    min_pts: int = 4
+    batch_size: int = 256
+
+    def __post_init__(self):
+        check_positive(self.eps, "eps")
+        check_positive_int(self.min_pts, "min_pts")
+        check_positive_int(self.batch_size, "batch_size")
+
+
+@dataclass
+class DBSCANResult:
+    """Cluster assignment plus the expansion telemetry."""
+
+    labels: np.ndarray        # (N,) int64; -1 = noise
+    core: np.ndarray          # (N,) bool
+    counts: np.ndarray        # (N,) exact eps-neighborhood sizes
+    n_clusters: int
+    rounds: int
+    stats: dict = field(default_factory=dict)
+
+
+def _find(parent: np.ndarray, i: int) -> int:
+    """Union-find root with full path compression."""
+    root = i
+    while parent[root] != root:
+        root = parent[root]
+    while parent[i] != root:
+        parent[i], i = root, int(parent[i])
+    return root
+
+
+def _union(parent: np.ndarray, a: int, b: int) -> None:
+    """Merge two components, keeping the smaller index as the root."""
+    ra = _find(parent, a)
+    rb = _find(parent, b)
+    if ra == rb:
+        return
+    if ra < rb:
+        parent[rb] = ra
+    else:
+        parent[ra] = rb
+
+
+def finalize_labels(
+    parent: np.ndarray, core: np.ndarray, border_anchor: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Canonical labels from the union-find state.
+
+    Components are renumbered by ascending representative (the minimum
+    member index, by the union rule); border points inherit their
+    anchor core point's label; everything else is noise. Shared with
+    the brute oracle so both finalize identically.
+    """
+    n = len(parent)
+    labels = np.full(n, -1, dtype=np.int64)
+    core_ids = np.flatnonzero(core)
+    if len(core_ids):
+        roots = np.array([_find(parent, int(i)) for i in core_ids])
+        uniq = np.unique(roots)  # ascending representatives
+        labels[core_ids] = np.searchsorted(uniq, roots)
+        n_clusters = len(uniq)
+    else:
+        n_clusters = 0
+    border = (~core) & (border_anchor < n)
+    labels[border] = labels[border_anchor[border]]
+    return labels, n_clusters
+
+
+def _valid_pairs(frontier, res) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten one round's neighbor rows into (source, neighbor) pairs.
+
+    Valid entries sit in the leading ``counts`` slots of each row on
+    every serving path, so the row-major boolean gather stays aligned
+    with ``np.repeat`` over the counts.
+    """
+    counts = res.counts
+    k_in = res.indices.shape[1]
+    mask = np.arange(k_in)[None, :] < counts[:, None]
+    rows = np.repeat(frontier, counts)
+    cols = res.indices[mask]
+    return rows, cols
+
+
+def run_dbscan(
+    client, config: DBSCANConfig, tracer: Tracer | None = None
+) -> DBSCANResult:
+    """Cluster the client's own point set (queries == points).
+
+    One exact count pass classifies core points, then frontier rounds
+    expand at most ``batch_size`` unvisited core points each: neighbor
+    rounds are fetched only for points whose neighborhood has not been
+    seen (the relaunch idiom), discovered core neighbors queue for the
+    next round, core-core edges merge components, and core→non-core
+    edges record border anchors. Seeding prefers queued (discovered)
+    points, falling back to the lowest-index unvisited core points, so
+    traversal is deterministic — though labels do not depend on it.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    points = client.points
+    n = len(points)
+    eps = float(config.eps)
+
+    with tracer.span("workload.dbscan.count", phase="workload") as sp:
+        counts = client.count(points, eps)
+        sp.add(count_queries=n)
+    core = counts >= config.min_pts
+
+    parent = np.arange(n, dtype=np.int64)
+    visited = np.zeros(n, dtype=bool)   # core neighborhoods fetched
+    queued = np.zeros(n, dtype=bool)    # discovered, awaiting expansion
+    border_anchor = np.full(n, n, dtype=np.int64)  # min core neighbor
+    rounds = 0
+    edges_total = 0
+    relaunched_total = 0
+
+    while True:
+        ready = np.flatnonzero(queued & ~visited)
+        if len(ready) == 0:
+            ready = np.flatnonzero(core & ~visited)
+            if len(ready) == 0:
+                break
+        frontier = ready[: config.batch_size]
+        with tracer.span(
+            f"workload.dbscan.round[{rounds}]", phase="workload"
+        ) as sp:
+            k_round = int(counts[frontier].max())
+            res = client.range(points[frontier], eps, k_round)
+            visited[frontier] = True
+            queued[frontier] = False
+            rows, cols = _valid_pairs(frontier, res)
+            core_cols = core[cols]
+            cc_rows = rows[core_cols]
+            cc_cols = cols[core_cols]
+            for a, b in zip(cc_rows.tolist(), cc_cols.tolist()):
+                _union(parent, a, b)
+            nb = ~core_cols
+            if nb.any():
+                np.minimum.at(border_anchor, cols[nb], rows[nb])
+            fresh = cc_cols[~visited[cc_cols]]
+            queued[fresh] = True
+            edges_total += len(rows)
+            relaunched_total += len(frontier)
+            sp.add(
+                dbscan_rounds=1,
+                relaunched_queries=len(frontier),
+                dbscan_edges=len(rows),
+            )
+            sp.note(k_round=k_round)
+        rounds += 1
+
+    labels, n_clusters = finalize_labels(parent, core, border_anchor)
+    border = (~core) & (border_anchor < n)
+    stats = {
+        "rounds": rounds,
+        "relaunched": relaunched_total,
+        "edges": edges_total,
+        "clusters": n_clusters,
+        "core_points": int(core.sum()),
+        "border_points": int(border.sum()),
+        "noise_points": int((labels == -1).sum()),
+    }
+    return DBSCANResult(
+        labels=labels,
+        core=core,
+        counts=counts,
+        n_clusters=n_clusters,
+        rounds=rounds,
+        stats=stats,
+    )

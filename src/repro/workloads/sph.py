@@ -1,0 +1,132 @@
+"""A multi-step SPH/n-body stepper over the dynamic-refit path.
+
+Each step runs the neighbor primitive over the *current* positions —
+one aggregate count (to pin the exact row width), one range query —
+then applies a softened-gravity symplectic kick-drift and moves the
+point set with ``update_points``, exercising the GAS refit and
+seed-radius invalidation machinery for N sustained steps.
+
+Determinism contract: the acceleration of point *i* sums over its
+canonicalized neighbor rows (sorted by neighbor index, fixed width
+``k = counts.max()`` per step), using the engine's own squared
+distances — both path-independent — with padding and the self pair
+weighted exactly ``0.0``. Every arithmetic op (einsum reduction, kick,
+drift) therefore sees identical operands in identical order on the
+solo, fused-serve, and sharded paths *and* in the brute stepper
+(:func:`repro.workloads.oracles.brute_sph`, which shares
+:func:`interaction_forces`): trajectories are bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.utils.validate import as_points, check_positive, check_positive_int
+from repro.workloads.client import canonical_rows
+
+
+@dataclass(frozen=True)
+class SPHConfig:
+    """Knobs of the stepper: interaction radius, step size, physics."""
+
+    radius: float
+    dt: float = 1e-3
+    n_steps: int = 5
+    gravity: float = 1.0
+    softening: float = 1e-2
+
+    def __post_init__(self):
+        check_positive(self.radius, "radius")
+        check_positive(self.dt, "dt")
+        check_positive_int(self.n_steps, "n_steps")
+        check_positive(self.softening, "softening")
+
+
+@dataclass
+class SPHResult:
+    """Final phase-space state plus per-step telemetry."""
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    stats: dict = field(default_factory=dict)
+
+
+def interaction_forces(
+    positions: np.ndarray,
+    idx: np.ndarray,
+    d2: np.ndarray,
+    gravity: float,
+    softening: float,
+) -> np.ndarray:
+    """Softened pairwise attraction from canonical neighbor rows.
+
+    ``a_i = G * Σ_j (x_j - x_i) / (d2_ij + ε²)^{3/2}`` over the valid,
+    non-self entries of row ``i``. ``idx``/``d2`` must be canonical
+    rows (:func:`~repro.workloads.client.canonical_rows`): index-sorted
+    valid entries first, ``-1``/``inf`` padding after. Padding and the
+    self pair contribute an exact ``0.0`` — their weight is forced to
+    zero before the reduction — so the result depends only on the
+    neighbor sets and the engine's distances.
+    """
+    n = len(positions)
+    use = (idx >= 0) & (idx != np.arange(n)[:, None])
+    safe = np.where(idx >= 0, idx, 0)
+    rel = positions[safe] - positions[:, None, :]
+    soft2 = float(softening) * float(softening)
+    d2_use = np.where(use, d2, 1.0)  # keep the pow off inf padding
+    w = np.where(use, float(gravity) / np.sqrt((d2_use + soft2) ** 3), 0.0)
+    return np.einsum("qk,qkd->qd", w, rel)
+
+
+def run_sph(
+    client,
+    config: SPHConfig,
+    velocities=None,
+    tracer: Tracer | None = None,
+) -> SPHResult:
+    """Advance the client's point set ``n_steps`` kick-drift steps."""
+    tracer = tracer if tracer is not None else NULL_TRACER
+    x = np.array(client.points, dtype=np.float64, copy=True)
+    n = len(x)
+    if velocities is None:
+        v = np.zeros_like(x)
+    else:
+        v = np.array(as_points(velocities, "velocities"), copy=True)
+        if v.shape != x.shape:
+            raise ValueError(
+                f"velocities shape {v.shape} != points shape {x.shape}"
+            )
+    dt = float(config.dt)
+    pairs_total = 0
+    refit_total = 0.0
+    ks: list[int] = []
+
+    for step in range(config.n_steps):
+        with tracer.span(f"workload.sph.step[{step}]", phase="workload") as sp:
+            counts = client.count(x, config.radius)
+            k = max(int(counts.max()), 1)
+            res = client.range(x, config.radius, k)
+            cidx, cd2 = canonical_rows(res, k, n)
+            acc = interaction_forces(
+                x, cidx, cd2, config.gravity, config.softening
+            )
+            v = v + dt * acc
+            x = x + dt * v
+            refit_s = client.update(x)
+            pairs = int(counts.sum())
+            pairs_total += pairs
+            refit_total += refit_s
+            ks.append(k)
+            sp.add(sph_steps=1, neighbor_pairs=pairs, relaunched_queries=n)
+            sp.note(k_step=k)
+
+    stats = {
+        "steps": config.n_steps,
+        "neighbor_pairs": pairs_total,
+        "k_per_step": ks,
+        "refit_s": refit_total,
+    }
+    return SPHResult(positions=x, velocities=v, stats=stats)

@@ -130,6 +130,16 @@ def test_true_knn_smoke_gate_is_wired():
     assert "--shards 4" in make_text
 
 
+def test_workloads_smoke_gate_is_wired():
+    assert "workloads-smoke" in _ci_prerequisites()
+    assert "workloads-smoke" in _job_names()
+    make_text = MAKEFILE.read_text()
+    # The gate is the CLI's self-checking path: oracles + cross-path
+    # bit-identity over a sharded topology.
+    assert re.search(r"workload\s+--check", make_text)
+    assert re.search(r"workloads-smoke:\n\t.*--shards 4", make_text)
+
+
 def test_backend_smoke_gate_is_wired():
     assert "backend-smoke" in _ci_prerequisites()
     assert "backend-smoke" in _job_names()
